@@ -1,0 +1,1 @@
+bench/ablations.ml: Eco Gen List Netlist Printf Qbf Random Unix

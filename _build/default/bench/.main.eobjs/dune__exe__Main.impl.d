@@ -1,0 +1,1 @@
+bench/main.ml: Ablations Array Gen List Micro Printf Sys Table1

@@ -1,0 +1,1 @@
+bench/micro.ml: Aig Analyze Array Bdd Bechamel Benchmark Cec Eco Flow Gen Hashtbl Instance Int64 List Measure Netlist Printf Sat Staged Test Time Toolkit

@@ -1,0 +1,1 @@
+bench/table1.ml: Array Eco Gen List Netlist Printexc Printf String

@@ -1,0 +1,35 @@
+(* Benchmark harness entry point.
+
+   dune exec bench/main.exe              -- everything (Table 1, ablations,
+                                            microbenchmarks)
+   dune exec bench/main.exe table1       -- just the Table 1 regeneration
+   dune exec bench/main.exe table1-fast  -- Table 1 on the quick units only
+   dune exec bench/main.exe ablations    -- ablations A-D
+   dune exec bench/main.exe micro        -- bechamel kernels *)
+
+let fast_units =
+  List.filter
+    (fun (s : Gen.Suite.unit_spec) -> not (List.mem s.Gen.Suite.id [ 9; 19 ]))
+    Gen.Suite.all
+
+let () =
+  let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  match what with
+  | "table1" -> ignore (Table1.run ())
+  | "table1-fast" -> ignore (Table1.run ~units:fast_units ())
+  | "ablations" -> Ablations.run_all ()
+  | "ablationA" -> Ablations.ablation_a ()
+  | "ablationB" -> Ablations.ablation_b ()
+  | "ablationC" -> Ablations.ablation_c ()
+  | "ablationD" -> Ablations.ablation_d ()
+  | "ablationE" -> Ablations.ablation_e ()
+  | "micro" -> Micro.run ()
+  | "all" ->
+    ignore (Table1.run ());
+    Ablations.run_all ();
+    Micro.run ()
+  | other ->
+    Printf.eprintf
+      "unknown experiment %S (table1 | table1-fast | ablations | ablationA..D | micro | all)\n"
+      other;
+    exit 2

@@ -1,0 +1,147 @@
+(* eco-patch: command-line front end.
+
+   eco-patch solve --impl impl.v --spec spec.v --target w1 --target w2 \
+     [--weights w.txt] [--method min_assume|baseline|exact] [--out patched.v]
+
+   eco-patch gen --unit unit7 --dir out/
+       writes impl.v, spec.v, weights.txt, targets.txt of a suite unit
+
+   eco-patch suite
+       lists the built-in benchmark units *)
+
+open Cmdliner
+
+let method_conv =
+  let parse = function
+    | "baseline" -> Ok Eco.Engine.Baseline
+    | "min_assume" -> Ok Eco.Engine.Min_assume
+    | "exact" -> Ok Eco.Engine.Exact
+    | s -> Error (`Msg (Printf.sprintf "unknown method %S (baseline|min_assume|exact)" s))
+  in
+  let print ppf m =
+    Format.pp_print_string ppf
+      (match m with
+      | Eco.Engine.Baseline -> "baseline"
+      | Eco.Engine.Min_assume -> "min_assume"
+      | Eco.Engine.Exact -> "exact")
+  in
+  Arg.conv (parse, print)
+
+let solve_cmd =
+  let impl_file =
+    Arg.(required & opt (some file) None & info [ "impl" ] ~docv:"FILE" ~doc:"Implementation netlist (structural Verilog).")
+  in
+  let spec_file =
+    Arg.(required & opt (some file) None & info [ "spec" ] ~docv:"FILE" ~doc:"Specification netlist (structural Verilog).")
+  in
+  let targets =
+    Arg.(non_empty & opt_all string [] & info [ "target"; "t" ] ~docv:"SIGNAL" ~doc:"Target signal (repeatable).")
+  in
+  let weights =
+    Arg.(value & opt (some file) None & info [ "weights" ] ~docv:"FILE" ~doc:"Signal weight file (\"name weight\" lines; default weight 1).")
+  in
+  let method_ =
+    Arg.(value & opt method_conv Eco.Engine.Min_assume & info [ "method"; "m" ] ~docv:"METHOD" ~doc:"Support computation: baseline, min_assume (default) or exact.")
+  in
+  let structural =
+    Arg.(value & flag & info [ "structural" ] ~doc:"Skip the SAT pipeline; compute a structural patch directly.")
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Write the patched implementation netlist here.")
+  in
+  let budget =
+    Arg.(value & opt int 0 & info [ "budget" ] ~docv:"CONFLICTS" ~doc:"Conflict budget per SAT call (0 = library default).")
+  in
+  let run impl_file spec_file targets weights method_ structural out budget =
+    try
+      let instance =
+        Eco.Instance.load ~impl_file ~spec_file ~targets ~weight_file:weights ()
+      in
+      let config = Eco.Engine.config_of_method method_ in
+      let config = { config with Eco.Engine.force_structural = structural } in
+      let config =
+        if budget > 0 then
+          { config with Eco.Engine.sat_budget = budget; feasibility_budget = budget }
+        else config
+      in
+      let outcome = Eco.Engine.solve ~config instance in
+      Format.printf "%a@." Eco.Engine.pp_outcome outcome;
+      List.iter (fun p -> Format.printf "  %a@." Eco.Patch.pp p) outcome.Eco.Engine.patches;
+      (match (outcome.Eco.Engine.status, out) with
+      | Eco.Engine.Solved, Some path ->
+        let patched = Eco.Verify.patched_netlist instance outcome.Eco.Engine.patches in
+        Netlist.Verilog.write_file path ~name:"patched" patched;
+        Format.printf "patched netlist written to %s@." path
+      | _ -> ());
+      match outcome.Eco.Engine.status with Eco.Engine.Solved -> Ok () | _ -> Error (`Msg "no patch")
+    with Failure msg -> Error (`Msg msg)
+  in
+  let term =
+    Term.(
+      term_result
+        (const run $ impl_file $ spec_file $ targets $ weights $ method_ $ structural $ out
+       $ budget))
+  in
+  Cmd.v (Cmd.info "solve" ~doc:"Compute ECO patch functions for the given targets.") term
+
+let gen_cmd =
+  let unit_name =
+    Arg.(required & opt (some string) None & info [ "unit"; "u" ] ~docv:"UNIT" ~doc:"Benchmark unit name (unit1 .. unit20).")
+  in
+  let dir = Arg.(value & opt string "." & info [ "dir"; "d" ] ~docv:"DIR" ~doc:"Output directory.") in
+  let run unit_name dir =
+    match Gen.Suite.find unit_name with
+    | exception Not_found -> Error (`Msg (Printf.sprintf "unknown unit %S" unit_name))
+    | spec ->
+      let inst = Gen.Suite.instantiate spec in
+      if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+      let p name = Filename.concat dir name in
+      Netlist.Verilog.write_file (p "impl.v") ~name:"impl" inst.Eco.Instance.impl;
+      Netlist.Verilog.write_file (p "spec.v") ~name:"spec" inst.Eco.Instance.spec;
+      Netlist.Weights.write_file (p "weights.txt") inst.Eco.Instance.weights;
+      let oc = open_out (p "targets.txt") in
+      List.iter (fun t -> output_string oc (t ^ "\n")) inst.Eco.Instance.targets;
+      close_out oc;
+      Format.printf "%s: %a@.files written under %s@." unit_name Eco.Instance.pp inst dir;
+      Ok ()
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Materialize a built-in benchmark unit as Verilog + weight files.")
+    Term.(term_result (const run $ unit_name $ dir))
+
+let suite_cmd =
+  let run () =
+    Format.printf "%-8s %-14s %-8s %-5s %-6s %s@." "unit" "family" "targets" "dist" "struct" "gates(impl)";
+    List.iter
+      (fun (s : Gen.Suite.unit_spec) ->
+        let impl = Gen.Suite.base_circuit s in
+        let family =
+          match s.Gen.Suite.family with
+          | Gen.Suite.Adder n -> Printf.sprintf "adder%d" n
+          | Gen.Suite.Carry_select n -> Printf.sprintf "csel%d" n
+          | Gen.Suite.Multiplier n -> Printf.sprintf "mult%d" n
+          | Gen.Suite.Alu n -> Printf.sprintf "alu%d" n
+          | Gen.Suite.Comparator n -> Printf.sprintf "cmp%d" n
+          | Gen.Suite.Parity n -> Printf.sprintf "parity%d" n
+          | Gen.Suite.Mux_tree d -> Printf.sprintf "mux%d" d
+          | Gen.Suite.Decoder n -> Printf.sprintf "dec%d" n
+          | Gen.Suite.Majority n -> Printf.sprintf "maj%d" n
+          | Gen.Suite.Random { gates; _ } -> Printf.sprintf "rand%d" gates
+        in
+        Format.printf "%-8s %-14s %-8d %-5s %-6b %d@." s.Gen.Suite.u_name family
+          s.Gen.Suite.n_targets
+          (Netlist.Weights.distribution_name s.Gen.Suite.dist)
+          s.Gen.Suite.structural (Netlist.num_gates impl))
+      Gen.Suite.all;
+    Ok ()
+  in
+  Cmd.v
+    (Cmd.info "suite" ~doc:"List the built-in benchmark units.")
+    Term.(term_result (const run $ const ()))
+
+let () =
+  let info =
+    Cmd.info "eco-patch" ~version:"1.0.0"
+      ~doc:"Efficient computation of ECO patch functions (DAC 2018 reproduction)."
+  in
+  exit (Cmd.eval (Cmd.group info [ solve_cmd; gen_cmd; suite_cmd ]))

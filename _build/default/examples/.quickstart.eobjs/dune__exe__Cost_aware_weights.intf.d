@@ -1,0 +1,1 @@
+examples/cost_aware_weights.mli:

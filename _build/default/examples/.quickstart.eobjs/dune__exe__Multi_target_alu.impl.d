@@ -1,0 +1,1 @@
+examples/multi_target_alu.ml: Eco Format Gen List Netlist

@@ -1,0 +1,1 @@
+examples/patch_function_showdown.ml: Cec Eco Format Gen List Netlist

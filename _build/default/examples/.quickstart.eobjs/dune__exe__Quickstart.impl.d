@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Eco Format List Netlist Twolevel

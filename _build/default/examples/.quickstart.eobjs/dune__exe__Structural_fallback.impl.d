@@ -1,0 +1,1 @@
+examples/structural_fallback.ml: Eco Format Gen List Netlist

@@ -1,0 +1,1 @@
+examples/structural_fallback.mli:

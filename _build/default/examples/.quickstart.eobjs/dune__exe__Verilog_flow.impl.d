@@ -1,0 +1,1 @@
+examples/verilog_flow.ml: Eco Filename Format Gen Netlist Printf Random Sys Unix

@@ -1,0 +1,1 @@
+examples/verilog_flow.mli:

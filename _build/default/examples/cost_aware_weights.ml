@@ -1,0 +1,31 @@
+(* Resource-aware patching: the same netlist and targets under the eight
+   contest weight distributions T1..T8 (§4.1).  The chosen support — and
+   hence the patch cost — follows the weight landscape, which is the whole
+   point of cost-aware support computation.
+
+   Run with: dune exec examples/cost_aware_weights.exe *)
+
+let () =
+  let impl = Gen.Circuits.carry_select_adder 16 in
+  let rand = Random.State.make [| 7 |] in
+  let targets = Gen.Mutate.pick_targets ~rand impl 1 in
+  let spec = Gen.Mutate.derive_spec ~rand ~style:(Gen.Mutate.New_cone 5) impl ~targets in
+  Format.printf "target: %s@.@." (List.hd targets);
+  Format.printf "%-6s %-10s %-8s %-30s@." "dist" "cost" "gates" "support";
+  List.iter
+    (fun dist ->
+      let weights = Netlist.Weights.generate ~rand:(Random.State.make [| 42 |]) dist impl in
+      let instance = Eco.Instance.make ~name:"weights" ~impl ~spec ~targets ~weights () in
+      let outcome =
+        Eco.Engine.solve ~config:(Eco.Engine.config_of_method Eco.Engine.Min_assume) instance
+      in
+      let support =
+        String.concat ","
+          (List.concat_map
+             (fun p -> List.map fst p.Eco.Patch.support)
+             outcome.Eco.Engine.patches)
+      in
+      Format.printf "%-6s %-10d %-8d %-30s@."
+        (Netlist.Weights.distribution_name dist)
+        outcome.Eco.Engine.cost outcome.Eco.Engine.gates support)
+    Netlist.Weights.all_distributions

@@ -1,0 +1,32 @@
+(* Multi-target ECO on an ALU slice, comparing the paper's three support
+   strategies (Table 1's three column groups):
+
+   - Baseline:   analyze_final core only (no minimization)
+   - Min_assume: Algorithm 1 + last-gasp (the 2017 contest winner)
+   - Exact:      SAT_prune minimum-cost support + CEGAR_min
+
+   The specification is the same ALU with two internal functions changed,
+   the way an ECO arrives after a late spec revision.
+
+   Run with: dune exec examples/multi_target_alu.exe *)
+
+let () =
+  let impl = Gen.Circuits.alu 12 in
+  let instance =
+    Gen.Mutate.make_instance ~name:"alu12" ~style:(Gen.Mutate.New_cone 5)
+      ~dist:Netlist.Weights.T5 ~seed:2024 ~n_targets:2 impl
+  in
+  Format.printf "instance: %a@." Eco.Instance.pp instance;
+  let window = Eco.Window.compute instance in
+  Format.printf "%a@.@." Eco.Window.pp window;
+  List.iter
+    (fun (label, method_) ->
+      let outcome = Eco.Engine.solve ~config:(Eco.Engine.config_of_method method_) instance in
+      Format.printf "%-11s %a@." label Eco.Engine.pp_outcome outcome;
+      List.iter (fun p -> Format.printf "   %a@." Eco.Patch.pp p) outcome.Eco.Engine.patches;
+      print_newline ())
+    [
+      ("baseline", Eco.Engine.Baseline);
+      ("min_assume", Eco.Engine.Min_assume);
+      ("exact", Eco.Engine.Exact);
+    ]

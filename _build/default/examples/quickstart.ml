@@ -1,0 +1,52 @@
+(* Quickstart: the smallest possible ECO run.
+
+   The implementation computes y = (a & b) | c; the specification changed
+   its mind and wants y = (a ^ b) | c.  The signal [w] is the target: we ask
+   the engine for a new function of [w] that fixes the design, and print the
+   patch it found.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let gate name gate fanins = { Netlist.name; gate; fanins = Array.of_list fanins }
+
+let () =
+  let impl =
+    Netlist.create
+      [
+        gate "a" Netlist.Input [];
+        gate "b" Netlist.Input [];
+        gate "c" Netlist.Input [];
+        gate "w" Netlist.And [ "a"; "b" ];
+        gate "y" Netlist.Or [ "w"; "c" ];
+      ]
+      ~outputs:[ "y" ]
+  in
+  let spec =
+    Netlist.create
+      [
+        gate "a" Netlist.Input [];
+        gate "b" Netlist.Input [];
+        gate "c" Netlist.Input [];
+        gate "w" Netlist.Xor [ "a"; "b" ];
+        gate "y" Netlist.Or [ "w"; "c" ];
+      ]
+      ~outputs:[ "y" ]
+  in
+  let weights = Netlist.Weights.uniform impl 1 in
+  let instance = Eco.Instance.make ~name:"quickstart" ~impl ~spec ~targets:[ "w" ] ~weights () in
+  let outcome = Eco.Engine.solve instance in
+  Format.printf "outcome: %a@." Eco.Engine.pp_outcome outcome;
+  List.iter
+    (fun patch ->
+      Format.printf "  %a@." Eco.Patch.pp patch;
+      match patch.Eco.Patch.sop with
+      | Some sop ->
+        Format.printf "  SOP over support variables: %a@." Twolevel.Sop.pp sop;
+        Format.printf "  factored: %a@."
+          Twolevel.Factor.pp_expr (Twolevel.Factor.factor sop)
+      | None -> ())
+    outcome.Eco.Engine.patches;
+  (* The patched implementation as structural Verilog: *)
+  let patched = Eco.Verify.patched_netlist instance outcome.Eco.Engine.patches in
+  print_newline ();
+  print_string (Netlist.Verilog.to_string ~name:"patched" patched)

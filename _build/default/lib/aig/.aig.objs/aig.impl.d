@@ -1,0 +1,1 @@
+lib/aig/aig.ml: Aiger Cnf Fraig Graph Interp

@@ -1,0 +1,1 @@
+lib/aig/aig.mli: Aiger Cnf Fraig Graph Interp

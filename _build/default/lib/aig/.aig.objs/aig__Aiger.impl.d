@@ -1,0 +1,1 @@
+lib/aig/aiger.ml: Array Buffer Graph List Printf String

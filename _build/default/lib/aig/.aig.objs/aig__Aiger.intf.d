@@ -1,0 +1,1 @@
+lib/aig/aiger.mli: Graph

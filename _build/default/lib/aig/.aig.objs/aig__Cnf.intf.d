@@ -1,0 +1,1 @@
+lib/aig/cnf.mli: Graph Sat

@@ -1,0 +1,1 @@
+lib/aig/fraig.ml: Array Cnf Graph Hashtbl Int64 List Option Random Sat Unix

@@ -1,0 +1,1 @@
+lib/aig/fraig.mli: Graph

@@ -1,0 +1,1 @@
+lib/aig/interp.ml: Array Graph Hashtbl List Sat

@@ -1,0 +1,1 @@
+lib/aig/interp.mli: Graph Sat

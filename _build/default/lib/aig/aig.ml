@@ -1,0 +1,8 @@
+(* Root module of the [aig] library: the manager itself plus the
+   SAT-encoding and AIGER submodules. *)
+
+include Graph
+module Cnf = Cnf
+module Aiger = Aiger
+module Interp = Interp
+module Fraig = Fraig

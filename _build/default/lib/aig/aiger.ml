@@ -1,0 +1,106 @@
+let to_string m =
+  (* Renumber reachable nodes: inputs first (AIGER requires variable indices
+     1..I for inputs, then ANDs in topological order). *)
+  let outs = Array.to_list (Graph.outputs m) in
+  let mark = Graph.tfi_mark m outs in
+  let n_in = Graph.num_inputs m in
+  let renum = Array.make (Graph.num_nodes m) 0 in
+  Array.iteri (fun i l -> renum.(Graph.node_of l) <- i + 1) (Graph.inputs m);
+  let next = ref (n_in + 1) in
+  let ands = ref [] in
+  for id = 1 to Graph.num_nodes m - 1 do
+    if mark.(id) && Graph.is_and m id then begin
+      renum.(id) <- !next;
+      incr next;
+      ands := id :: !ands
+    end
+  done;
+  let ands = List.rev !ands in
+  let lit_out l =
+    let v = renum.(Graph.node_of l) in
+    (2 * v) + if Graph.is_complemented l then 1 else 0
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "aag %d %d 0 %d %d\n" (!next - 1) n_in (List.length outs)
+       (List.length ands));
+  Array.iter (fun l -> Buffer.add_string buf (Printf.sprintf "%d\n" (lit_out l))) (Graph.inputs m);
+  List.iter (fun l -> Buffer.add_string buf (Printf.sprintf "%d\n" (lit_out l))) outs;
+  List.iter
+    (fun id ->
+      let f0, f1 = Graph.fanins m id in
+      let a = lit_out (Graph.lit_of_node id false) in
+      let b = lit_out f0 and c = lit_out f1 in
+      let b, c = if b >= c then (b, c) else (c, b) in
+      Buffer.add_string buf (Printf.sprintf "%d %d %d\n" a b c))
+    ands;
+  Buffer.contents buf
+
+let of_string text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "" && s.[0] <> 'c')
+  in
+  match lines with
+  | [] -> failwith "Aiger: empty input"
+  | header :: rest ->
+    let ints_of_line s =
+      String.split_on_char ' ' s
+      |> List.filter (fun x -> x <> "")
+      |> List.map (fun x ->
+             match int_of_string_opt x with
+             | Some v -> v
+             | None -> failwith (Printf.sprintf "Aiger: bad integer %S" x))
+    in
+    let maxvar, n_in, n_latch, n_out, n_and =
+      match String.split_on_char ' ' header |> List.filter (fun s -> s <> "") with
+      | "aag" :: nums -> (
+        match List.map int_of_string nums with
+        | [ m; i; l; o; a ] -> (m, i, l, o, a)
+        | _ -> failwith "Aiger: bad header counts")
+      | _ -> failwith "Aiger: expected aag header"
+    in
+    if n_latch <> 0 then failwith "Aiger: latches not supported";
+    let m = Graph.create ~capacity:(maxvar + 2) () in
+    (* AIGER var v -> our literal *)
+    let map = Array.make (maxvar + 1) (-1) in
+    map.(0) <- Graph.false_;
+    let lit_in x =
+      let v = x / 2 in
+      if v > maxvar || map.(v) < 0 then failwith "Aiger: undefined literal";
+      if x land 1 = 1 then Graph.not_ map.(v) else map.(v)
+    in
+    let rest = Array.of_list rest in
+    if Array.length rest < n_in + n_out + n_and then failwith "Aiger: truncated";
+    for i = 0 to n_in - 1 do
+      match ints_of_line rest.(i) with
+      | [ x ] when x mod 2 = 0 && x > 0 -> map.(x / 2) <- Graph.add_input m
+      | _ -> failwith "Aiger: bad input line"
+    done;
+    (* AND definitions may reference other ANDs defined later only in
+       non-topological files; aag spec requires topological order, which we
+       enforce. *)
+    for i = 0 to n_and - 1 do
+      match ints_of_line rest.(n_in + n_out + i) with
+      | [ a; b; c ] when a mod 2 = 0 && a > 0 -> map.(a / 2) <- Graph.and_ m (lit_in b) (lit_in c)
+      | _ -> failwith "Aiger: bad and line"
+    done;
+    for i = 0 to n_out - 1 do
+      match ints_of_line rest.(n_in + i) with
+      | [ x ] -> ignore (Graph.add_output m (lit_in x))
+      | _ -> failwith "Aiger: bad output line"
+    done;
+    m
+
+let write_file path m =
+  let oc = open_out path in
+  output_string oc (to_string m);
+  close_out oc
+
+let read_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  of_string s

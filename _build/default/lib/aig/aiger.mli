@@ -1,0 +1,11 @@
+(** ASCII AIGER ("aag") reading and writing. *)
+
+val to_string : Graph.t -> string
+(** Serializes the reachable part of the AIG in aag format (combinational:
+    no latches). *)
+
+val of_string : string -> Graph.t
+(** Parses aag text.  Raises [Failure] on malformed input or latches. *)
+
+val write_file : string -> Graph.t -> unit
+val read_file : string -> Graph.t

@@ -1,0 +1,32 @@
+(** SAT sweeping (fraiging): merging functionally equivalent AIG nodes.
+
+    Candidate equivalences come from multi-round bit-parallel simulation
+    (complement-normalized signatures); each candidate pair is confirmed by
+    an incremental SAT query before merging.  This is the AIG-level
+    cleanup ABC applies when the paper's patch SOPs are "factored and
+    synthesized"; the engine can run it over patch circuits to shrink the
+    reported gate counts further. *)
+
+type stats = {
+  sim_classes : int;  (** non-singleton signature classes examined *)
+  proved : int;  (** SAT-confirmed merges *)
+  disproved : int;
+  nodes_before : int;
+  nodes_after : int;
+}
+
+val sweep :
+  ?rounds:int ->
+  ?seed:int ->
+  ?budget:int ->
+  ?max_tries:int ->
+  ?max_disproofs:int ->
+  ?max_queries:int ->
+  ?max_passes:int ->
+  ?deadline:float ->
+  Graph.t ->
+  Graph.t * stats
+(** Returns a fresh manager computing the same outputs over the same
+    inputs (in order), with proven-equivalent internal nodes shared.
+    [budget] caps conflicts per equivalence query (default 2000); an
+    undecided query is treated as inequivalent. *)

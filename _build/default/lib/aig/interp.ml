@@ -1,0 +1,70 @@
+(* McMillan's interpolation system:
+   - A-leaf: disjunction of the clause's shared-variable literals;
+   - B-leaf: constant true;
+   - resolution on an A-local pivot: disjunction of the operands' partial
+     interpolants; on a shared or B-local pivot: conjunction. *)
+
+let extract mgr ~proof ~shared_input =
+  let empty =
+    match Sat.Proof.empty_clause proof with
+    | Some id -> id
+    | None -> invalid_arg "Interp.extract: no empty-clause derivation"
+  in
+  let memo = Hashtbl.create 256 in
+  let lit_image l =
+    let v = Sat.Lit.var l in
+    let base = shared_input v in
+    if Sat.Lit.is_neg l then Graph.not_ base else base
+  in
+  (* Iterative DFS over the proof DAG. *)
+  let rec compute id =
+    match Hashtbl.find_opt memo id with
+    | Some x -> x
+    | None ->
+      let result =
+        match Sat.Proof.node proof id with
+        | Sat.Proof.Leaf { lits; part = Sat.Proof.Part_a } ->
+          Array.fold_left
+            (fun acc l ->
+              match Sat.Proof.var_class proof (Sat.Lit.var l) with
+              | `Shared -> Graph.or_ mgr acc (lit_image l)
+              | _ -> acc)
+            Graph.false_ lits
+        | Sat.Proof.Leaf { part = Sat.Proof.Part_b; _ } -> Graph.true_
+        | Sat.Proof.Derived { base; steps; _ } ->
+          Array.fold_left
+            (fun acc (pivot, ante) ->
+              let other = compute ante in
+              match Sat.Proof.var_class proof pivot with
+              | `A_local -> Graph.or_ mgr acc other
+              | `Shared | `B_local | `Unused -> Graph.and_ mgr acc other)
+            (compute base) steps
+      in
+      Hashtbl.replace memo id result;
+      result
+  in
+  (* The DAG can be deep; recursion depth equals the longest derivation
+     chain.  Convert to an explicit work-list to stay stack-safe. *)
+  let rec force id =
+    if not (Hashtbl.mem memo id) then begin
+      match Sat.Proof.node proof id with
+      | Sat.Proof.Leaf _ -> ignore (compute id)
+      | Sat.Proof.Derived { base; steps; _ } ->
+        let pending =
+          List.filter
+            (fun i -> not (Hashtbl.mem memo i))
+            (base :: List.map snd (Array.to_list steps))
+        in
+        if pending = [] then ignore (compute id)
+        else begin
+          List.iter force pending;
+          ignore (compute id)
+        end
+    end
+  in
+  (* Process in id order: antecedents always precede derived nodes, so the
+     memo fills bottom-up and neither recursion goes deep. *)
+  for id = 0 to Sat.Proof.size proof - 1 do
+    force id
+  done;
+  compute empty

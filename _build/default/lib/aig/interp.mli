@@ -1,0 +1,16 @@
+(** Craig interpolant extraction from a logged resolution proof
+    (McMillan's interpolation system), built directly as an AIG.
+
+    Given an unsatisfiable A ∧ B with a recorded proof, the interpolant I
+    satisfies A ⇒ I, I ∧ B unsatisfiable, and I mentions only variables
+    shared between A and B.  This is the engine of the interpolation-based
+    patch computation of Wu et al. (ICCAD'10), reimplemented here as the
+    comparison point for the paper's cube-enumeration method. *)
+
+val extract :
+  Graph.t -> proof:Sat.Proof.t -> shared_input:(int -> Graph.lit) -> Graph.lit
+(** [extract mgr ~proof ~shared_input] builds the interpolant in [mgr];
+    [shared_input v] maps a shared proof variable to the AIG literal that
+    represents it.  Raises [Invalid_argument] if no empty-clause derivation
+    was recorded, and calls [shared_input] exactly on the shared variables
+    appearing in A-leaf clauses. *)

@@ -1,0 +1,244 @@
+type t = int
+
+(* Nodes 0 and 1 are the constants; others live in parallel arrays.
+   Invariant (ROBDD): low <> high, and node variables strictly increase
+   from root to leaves. *)
+type man = {
+  nv : int;
+  mutable var_of : int array;
+  mutable low : int array;
+  mutable high : int array;
+  mutable n : int;
+  unique : (int * int * int, int) Hashtbl.t;
+  ite_cache : (int * int * int, int) Hashtbl.t;
+}
+
+let fls = 0
+let tru = 1
+
+let create ?(initial_size = 1 lsl 12) nv =
+  if nv < 0 then invalid_arg "Bdd.create";
+  let m =
+    {
+      nv;
+      var_of = Array.make initial_size max_int;
+      low = Array.make initial_size 0;
+      high = Array.make initial_size 0;
+      n = 2;
+      unique = Hashtbl.create initial_size;
+      ite_cache = Hashtbl.create initial_size;
+    }
+  in
+  (* Constants sit at an infinite level. *)
+  m.var_of.(0) <- max_int;
+  m.var_of.(1) <- max_int;
+  m
+
+let nvars m = m.nv
+
+let grow m =
+  let old = Array.length m.var_of in
+  if m.n >= old then begin
+    let sz = 2 * old in
+    let g a def =
+      let b = Array.make sz def in
+      Array.blit a 0 b 0 old;
+      b
+    in
+    m.var_of <- g m.var_of max_int;
+    m.low <- g m.low 0;
+    m.high <- g m.high 0
+  end
+
+let mk m v lo hi =
+  if lo = hi then lo
+  else begin
+    match Hashtbl.find_opt m.unique (v, lo, hi) with
+    | Some id -> id
+    | None ->
+      grow m;
+      let id = m.n in
+      m.n <- id + 1;
+      m.var_of.(id) <- v;
+      m.low.(id) <- lo;
+      m.high.(id) <- hi;
+      Hashtbl.add m.unique (v, lo, hi) id;
+      id
+  end
+
+let var m i =
+  if i < 0 || i >= m.nv then invalid_arg "Bdd.var";
+  mk m i fls tru
+
+let nvar m i =
+  if i < 0 || i >= m.nv then invalid_arg "Bdd.nvar";
+  mk m i tru fls
+
+let top_var m f = m.var_of.(f)
+
+let cofactors m v f =
+  if m.var_of.(f) = v then (m.low.(f), m.high.(f)) else (f, f)
+
+let rec ite m f g h =
+  (* Terminal cases. *)
+  if f = tru then g
+  else if f = fls then h
+  else if g = h then g
+  else if g = tru && h = fls then f
+  else begin
+    match Hashtbl.find_opt m.ite_cache (f, g, h) with
+    | Some r -> r
+    | None ->
+      let v = min (top_var m f) (min (top_var m g) (top_var m h)) in
+      let f0, f1 = cofactors m v f in
+      let g0, g1 = cofactors m v g in
+      let h0, h1 = cofactors m v h in
+      let lo = ite m f0 g0 h0 in
+      let hi = ite m f1 g1 h1 in
+      let r = mk m v lo hi in
+      Hashtbl.replace m.ite_cache (f, g, h) r;
+      r
+  end
+
+let not_ m f = ite m f fls tru
+let and_ m f g = ite m f g fls
+let or_ m f g = ite m f tru g
+let xor_ m f g = ite m f (not_ m g) g
+let implies m f g = ite m f g tru
+
+let restrict m v b f =
+  (* Substitute a constant for variable v. *)
+  let memo = Hashtbl.create 64 in
+  let rec go f =
+    if f < 2 || m.var_of.(f) > v then f
+    else
+      match Hashtbl.find_opt memo f with
+      | Some r -> r
+      | None ->
+        let r =
+          if m.var_of.(f) = v then if b then m.high.(f) else m.low.(f)
+          else mk m m.var_of.(f) (go m.low.(f)) (go m.high.(f))
+        in
+        Hashtbl.replace memo f r;
+        r
+  in
+  go f
+
+let exists m vars f =
+  List.fold_left (fun f v -> or_ m (restrict m v false f) (restrict m v true f)) f vars
+
+let forall m vars f =
+  List.fold_left (fun f v -> and_ m (restrict m v false f) (restrict m v true f)) f vars
+
+let eval m bits f =
+  if Array.length bits <> m.nv then invalid_arg "Bdd.eval";
+  let rec go f = if f = tru then true else if f = fls then false
+    else if bits.(m.var_of.(f)) then go m.high.(f) else go m.low.(f)
+  in
+  go f
+
+let is_tautology f = f = tru
+let is_false f = f = fls
+let equal (a : t) b = a = b
+
+let size m f =
+  let seen = Hashtbl.create 64 in
+  let rec go f =
+    if f >= 2 && not (Hashtbl.mem seen f) then begin
+      Hashtbl.replace seen f ();
+      go m.low.(f);
+      go m.high.(f)
+    end
+  in
+  go f;
+  Hashtbl.length seen
+
+let count_minterms m f =
+  (* Fraction semantics make skipped levels transparent: a node's fraction
+     is the probability a uniform assignment of the remaining variables
+     satisfies it. *)
+  let memo = Hashtbl.create 64 in
+  let rec frac f =
+    if f = tru then 1.0
+    else if f = fls then 0.0
+    else
+      match Hashtbl.find_opt memo f with
+      | Some x -> x
+      | None ->
+        let x = (0.5 *. frac m.low.(f)) +. (0.5 *. frac m.high.(f)) in
+        Hashtbl.replace memo f x;
+        x
+  in
+  frac f *. (2.0 ** Float.of_int m.nv)
+
+let support m f =
+  let seen = Hashtbl.create 64 in
+  let vars = Hashtbl.create 16 in
+  let rec go f =
+    if f >= 2 && not (Hashtbl.mem seen f) then begin
+      Hashtbl.replace seen f ();
+      Hashtbl.replace vars m.var_of.(f) ();
+      go m.low.(f);
+      go m.high.(f)
+    end
+  in
+  go f;
+  List.sort compare (Hashtbl.fold (fun v () acc -> v :: acc) vars [])
+
+let of_aig m aig ~map root =
+  let memo = Hashtbl.create 1024 in
+  let rec go l =
+    let id = Aig.node_of l in
+    let plain =
+      match Hashtbl.find_opt memo id with
+      | Some b -> b
+      | None ->
+        let b =
+          if Aig.is_const id then fls
+          else if Aig.is_input aig id then map (Aig.input_index aig id)
+          else begin
+            let f0, f1 = Aig.fanins aig id in
+            and_ m (go f0) (go f1)
+          end
+        in
+        Hashtbl.replace memo id b;
+        b
+    in
+    if Aig.is_complemented l then not_ m plain else plain
+  in
+  go root
+
+(* Minato-Morreale: an irredundant SOP for some function in [lower, upper].
+   Returns (cubes, bdd of the cover). *)
+let isop m ~lower ~upper =
+  let rec go lower upper =
+    if lower = fls then ([], fls)
+    else if upper = tru then ([ Twolevel.Cube.full m.nv ], tru)
+    else begin
+      let v = min (top_var m lower) (top_var m upper) in
+      let l0, l1 = cofactors m v lower in
+      let u0, u1 = cofactors m v upper in
+      (* Cubes that must carry the literal !v / v. *)
+      let c0, cov0 = go (and_ m l0 (not_ m u1)) u0 in
+      let c1, cov1 = go (and_ m l1 (not_ m u0)) u1 in
+      (* What is still uncovered can be covered without mentioning v. *)
+      let ld0 = and_ m l0 (not_ m cov0) in
+      let ld1 = and_ m l1 (not_ m cov1) in
+      let ld = or_ m ld0 ld1 in
+      let cd, covd = go ld (and_ m u0 u1) in
+      let cubes =
+        List.map (fun c -> Twolevel.Cube.set c v false) c0
+        @ List.map (fun c -> Twolevel.Cube.set c v true) c1
+        @ cd
+      in
+      let cover =
+        or_ m covd
+          (or_ m
+             (and_ m (nvar m v) cov0)
+             (and_ m (var m v) cov1))
+      in
+      (cubes, cover)
+    end
+  in
+  let cubes, cover = go lower upper in
+  (Twolevel.Sop.create m.nv cubes, cover)

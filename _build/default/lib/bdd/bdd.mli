@@ -1,0 +1,64 @@
+(** Reduced ordered binary decision diagrams.
+
+    The classic substrate of 1990s ECO work (Lin-Chen-Marek-Sadowska
+    TCAD'99 and the interpolation predecessors), kept here as a
+    cross-checking oracle for the SAT/AIG pipeline and as the engine of
+    the Minato-Morreale {!isop} two-level cover generator.
+
+    Hash-consed nodes without complement edges; one manager owns a fixed
+    variable order [0 .. nvars-1] (index = level, smaller = closer to the
+    root). *)
+
+type man
+type t = private int
+(** Node handle, valid within its manager. *)
+
+val create : ?initial_size:int -> int -> man
+(** [create nvars] — managers are not growable: choose the support
+    upfront. *)
+
+val nvars : man -> int
+val fls : t
+val tru : t
+
+val var : man -> int -> t
+(** The function "variable i". *)
+
+val nvar : man -> int -> t
+(** Its complement. *)
+
+val not_ : man -> t -> t
+val and_ : man -> t -> t -> t
+val or_ : man -> t -> t -> t
+val xor_ : man -> t -> t -> t
+val implies : man -> t -> t -> t
+val ite : man -> t -> t -> t -> t
+
+val restrict : man -> int -> bool -> t -> t
+(** Cofactor w.r.t. one variable. *)
+
+val exists : man -> int list -> t -> t
+val forall : man -> int list -> t -> t
+
+val eval : man -> bool array -> t -> bool
+val is_tautology : t -> bool
+val is_false : t -> bool
+val equal : t -> t -> bool
+
+val size : man -> t -> int
+(** Number of internal nodes reachable from the root. *)
+
+val count_minterms : man -> t -> float
+(** Over the full variable space of the manager. *)
+
+val support : man -> t -> int list
+
+val of_aig : man -> Aig.t -> map:(int -> t) -> Aig.lit -> t
+(** Builds the BDD of an AIG cone; [map] gives the BDD of each AIG input
+    by PI ordinal.  Raises [Failure] if the manager saturates. *)
+
+val isop : man -> lower:t -> upper:t -> Twolevel.Sop.t * t
+(** Minato-Morreale irredundant SOP for any function in the interval
+    [lower <= f <= upper]; returns the cover (over the manager's
+    variables) and its BDD.  The classic BDD route to the patch functions
+    the paper computes by SAT cube enumeration. *)

@@ -1,0 +1,75 @@
+type verdict = Equivalent | Counterexample of bool array | Undecided
+
+let build_miter a b =
+  if Aig.num_inputs a <> Aig.num_inputs b then invalid_arg "Cec.build_miter: input arity";
+  if Aig.num_outputs a <> Aig.num_outputs b then invalid_arg "Cec.build_miter: output arity";
+  let m = Aig.create () in
+  let xs = Aig.add_inputs m (Aig.num_inputs a) in
+  let map_side side =
+    let map = Aig.fresh_map side in
+    Array.iteri (fun i l -> map.(Aig.node_of l) <- xs.(i)) (Aig.inputs side);
+    Aig.import m side ~map (Array.to_list (Aig.outputs side))
+  in
+  let outs_a = map_side a and outs_b = map_side b in
+  let diffs = List.map2 (fun la lb -> Aig.xor_ m la lb) outs_a outs_b in
+  let miter = Aig.or_list m diffs in
+  ignore (Aig.add_output m miter);
+  (m, miter)
+
+let check_lit ?(budget = 0) m l =
+  if l = Aig.false_ then Equivalent
+  else begin
+    let solver = Sat.Solver.create () in
+    if budget > 0 then Sat.Solver.set_budget solver budget;
+    let env = Aig.Cnf.create m solver in
+    let sl = Aig.Cnf.lit env l in
+    Sat.Solver.add_clause solver [ sl ];
+    match Sat.Solver.solve solver with
+    | Sat.Solver.Unsat -> Equivalent
+    | Sat.Solver.Unknown -> Undecided
+    | Sat.Solver.Sat ->
+      let cex =
+        Array.map
+          (fun il ->
+            match Aig.Cnf.lit_opt env il with
+            | Some sl -> Sat.Solver.value solver sl
+            | None -> false (* input outside the encoded cone: don't care *))
+          (Aig.inputs m)
+      in
+      Counterexample cex
+  end
+
+let random_words rand n = Array.init n (fun _ -> Random.State.int64 rand Int64.max_int)
+
+let find_sim_cex ?(sim_rounds = 32) ~seed m miter =
+  let rand = Random.State.make [| seed |] in
+  let n_in = Aig.num_inputs m in
+  let rec go round =
+    if round >= sim_rounds then None
+    else begin
+      let words = random_words rand n_in in
+      let values = Aig.simulate m words in
+      let v = Aig.lit_value values miter in
+      if v = 0L then go (round + 1)
+      else begin
+        (* Find a set bit and read the corresponding input column. *)
+        let bit = ref 0 in
+        while Int64.logand (Int64.shift_right_logical v !bit) 1L = 0L do
+          incr bit
+        done;
+        Some
+          (Array.init n_in (fun i ->
+               Int64.logand (Int64.shift_right_logical words.(i) !bit) 1L <> 0L))
+      end
+    end
+  in
+  go 0
+
+let find_counterexample_by_simulation ?(rounds = 32) ?(seed = 0x5eed) m lit =
+  find_sim_cex ~sim_rounds:rounds ~seed m lit
+
+let check ?(budget = 0) ?(sim_rounds = 32) ?(seed = 0x5eed) a b =
+  let m, miter = build_miter a b in
+  match find_sim_cex ~sim_rounds ~seed m miter with
+  | Some cex -> Counterexample cex
+  | None -> check_lit ~budget m miter

@@ -1,0 +1,26 @@
+(** Combinational equivalence checking: random-simulation falsification
+    followed by a SAT miter (the machinery of the paper's patch
+    verification step and of the §3.2 feasibility check). *)
+
+type verdict =
+  | Equivalent
+  | Counterexample of bool array  (** input assignment distinguishing them *)
+  | Undecided  (** conflict budget exhausted *)
+
+val check : ?budget:int -> ?sim_rounds:int -> ?seed:int -> Aig.t -> Aig.t -> verdict
+(** [check a b] compares two AIGs output-by-output.  They must have the
+    same number of inputs and outputs. *)
+
+val check_lit : ?budget:int -> Aig.t -> Aig.lit -> verdict
+(** Satisfiability of one literal: [Equivalent] means constant-false (no
+    satisfying input), [Counterexample] gives an input assignment making it
+    true. *)
+
+val find_counterexample_by_simulation :
+  ?rounds:int -> ?seed:int -> Aig.t -> Aig.lit -> bool array option
+(** Random bit-parallel simulation only: a cheap pre-pass that either finds
+    an input making the literal true or gives up. *)
+
+val build_miter : Aig.t -> Aig.t -> Aig.t * Aig.lit
+(** Fresh manager containing both circuits over shared inputs and the
+    literal "some output pair differs". *)

@@ -1,0 +1,1 @@
+lib/eco/cegar_min.ml: Aig Array Flow Hashtbl Int64 List Miter Option Patch Random Sat

@@ -1,0 +1,1 @@
+lib/eco/cegar_min.mli: Miter Patch

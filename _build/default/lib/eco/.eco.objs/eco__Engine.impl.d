@@ -1,0 +1,1 @@
+lib/eco/engine.ml: Array Cec Cegar_min Format Hashtbl List Min_assume Miter Patch Patch_fun Qbf Sat_prune Structural Support Two_copy Unix Verify Window

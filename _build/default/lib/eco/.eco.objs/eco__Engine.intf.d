@@ -1,0 +1,1 @@
+lib/eco/engine.mli: Format Instance Patch

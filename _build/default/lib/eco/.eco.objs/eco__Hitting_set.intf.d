@@ -1,0 +1,1 @@
+lib/eco/hitting_set.mli:

@@ -1,0 +1,1 @@
+lib/eco/instance.ml: Format Hashtbl List Netlist Printf String

@@ -1,0 +1,1 @@
+lib/eco/instance.mli: Format Netlist

@@ -1,0 +1,1 @@
+lib/eco/min_assume.ml: List

@@ -1,0 +1,1 @@
+lib/eco/miter.ml: Aig Array Hashtbl Instance List Netlist Printf Window

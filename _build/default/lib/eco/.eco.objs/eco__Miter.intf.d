@@ -1,0 +1,1 @@
+lib/eco/miter.mli: Aig Instance Window

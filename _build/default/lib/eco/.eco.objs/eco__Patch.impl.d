@@ -1,0 +1,1 @@
+lib/eco/patch.ml: Aig Array Format List String Twolevel

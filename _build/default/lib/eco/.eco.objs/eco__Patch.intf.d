@@ -1,0 +1,1 @@
+lib/eco/patch.mli: Aig Format Twolevel

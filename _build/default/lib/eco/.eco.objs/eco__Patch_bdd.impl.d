@@ -1,0 +1,1 @@
+lib/eco/patch_bdd.ml: Aig Array Bdd Hashtbl List Miter Patch Twolevel Window

@@ -1,0 +1,1 @@
+lib/eco/patch_bdd.mli: Aig Miter Patch Window

@@ -1,0 +1,1 @@
+lib/eco/patch_fun.ml: Aig Array List Min_assume Miter Patch Sat Twolevel Unix

@@ -1,0 +1,1 @@
+lib/eco/patch_fun.mli: Aig Miter Patch

@@ -1,0 +1,1 @@
+lib/eco/patch_interp.ml: Aig Array Hashtbl List Min_assume Miter Patch Sat

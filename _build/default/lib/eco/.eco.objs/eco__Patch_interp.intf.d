@@ -1,0 +1,1 @@
+lib/eco/patch_interp.mli: Aig Miter Patch

@@ -1,0 +1,1 @@
+lib/eco/sat_prune.ml: Array Hitting_set List Min_assume Miter Support Two_copy Unix

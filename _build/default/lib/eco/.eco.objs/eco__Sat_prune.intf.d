@@ -1,0 +1,1 @@
+lib/eco/sat_prune.mli: Support Two_copy

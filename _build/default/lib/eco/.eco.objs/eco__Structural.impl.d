@@ -1,0 +1,1 @@
+lib/eco/structural.ml: Aig Array List Miter Option Patch Window

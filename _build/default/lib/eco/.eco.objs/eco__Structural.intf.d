@@ -1,0 +1,1 @@
+lib/eco/structural.mli: Miter Patch Window

@@ -1,0 +1,1 @@
+lib/eco/support.ml: List Min_assume Miter Sat Two_copy

@@ -1,0 +1,1 @@
+lib/eco/support.mli: Two_copy

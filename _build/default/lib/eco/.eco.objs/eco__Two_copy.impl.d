@@ -1,0 +1,1 @@
+lib/eco/two_copy.ml: Aig Array List Min_assume Miter Sat

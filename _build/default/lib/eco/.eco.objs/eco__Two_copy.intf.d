@@ -1,0 +1,1 @@
+lib/eco/two_copy.mli: Aig Miter Sat

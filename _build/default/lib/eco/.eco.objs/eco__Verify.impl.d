@@ -1,0 +1,1 @@
+lib/eco/verify.ml: Aig Cec Fun Hashtbl Instance List Netlist Patch Printf Scanf String

@@ -1,0 +1,1 @@
+lib/eco/verify.mli: Cec Instance Netlist Patch

@@ -1,0 +1,1 @@
+lib/eco/window.ml: Format Hashtbl Instance List Netlist

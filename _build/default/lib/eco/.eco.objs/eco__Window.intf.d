@@ -1,0 +1,1 @@
+lib/eco/window.mli: Format Instance

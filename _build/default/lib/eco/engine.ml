@@ -1,0 +1,316 @@
+type method_ = Baseline | Min_assume | Exact
+
+type config = {
+  method_ : method_;
+  sat_budget : int;
+  feasibility_budget : int;
+  last_gasp : bool;
+  use_cegar_min : bool;
+  force_structural : bool;
+  use_qbf : bool;
+  verify : bool;
+  verify_budget : int;
+  max_cubes : int;
+  sat_prune_deadline : float; (* seconds per target for the exact search *)
+  sweep_patches : bool; (* SAT-sweep structural patch circuits *)
+  patch_deadline : float; (* seconds per target for cube enumeration *)
+}
+
+let config_of_method m =
+  {
+    method_ = m;
+    sat_budget = 60_000;
+    feasibility_budget = 80_000;
+    last_gasp = (m = Min_assume || m = Exact);
+    use_cegar_min = (m = Exact);
+    force_structural = false;
+    use_qbf = (m = Exact);
+    verify = true;
+    verify_budget = 40_000;
+    max_cubes = 50_000;
+    sat_prune_deadline = 15.0;
+    sweep_patches = true;
+    patch_deadline = 60.0;
+  }
+
+let default_config = config_of_method Min_assume
+
+type status = Solved | Infeasible | Failed of string
+
+type outcome = {
+  status : status;
+  patches : Patch.t list;
+  cost : int;
+  gates : int;
+  time : float;
+  verified : bool option;
+  used_structural : bool;
+  sat_calls : int;
+  notes : (string * int) list;
+}
+
+(* Total weight of the distinct support signals used across all patches. *)
+let union_cost patches =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun p -> List.iter (fun (name, c) -> Hashtbl.replace tbl name c) p.Patch.support)
+    patches;
+  Hashtbl.fold (fun _ c acc -> acc + c) tbl 0
+
+let total_gates patches = List.fold_left (fun acc p -> acc + p.Patch.gates) 0 patches
+
+type feasibility =
+  | Feasible of bool array list option  (* 2QBF certificate when available *)
+  | Not_feasible
+  | Feasibility_unknown
+
+let check_feasibility config (miter : Miter.t) notes =
+  let targets = Miter.remaining_targets miter in
+  if config.use_qbf || List.length targets > 10 then begin
+    let answer, stats =
+      Qbf.Qbf2.solve miter.Miter.mgr ~phi:miter.Miter.miter_lit
+        ~exists_inputs:(Miter.x_lits miter)
+        ~forall_inputs:(List.map snd targets)
+        ~budget:config.feasibility_budget
+    in
+    notes := ("qbf_iterations", stats.Qbf.Qbf2.iterations) :: !notes;
+    match answer with
+    | Qbf.Qbf2.Sat _ -> Not_feasible
+    | Qbf.Qbf2.Unsat cert -> Feasible (Some cert)
+    | Qbf.Qbf2.Unknown -> Feasibility_unknown
+  end
+  else begin
+    let quantified = Miter.quantify_all miter in
+    match Cec.check_lit ~budget:config.feasibility_budget miter.Miter.mgr quantified with
+    | Cec.Equivalent -> Feasible None
+    | Cec.Counterexample _ -> Not_feasible
+    | Cec.Undecided -> Feasibility_unknown
+  end
+
+exception Step_infeasible of string
+
+(* SAT pipeline: targets one at a time (§3.1); raises
+   Min_assume.Budget_exhausted to trigger the structural fallback.
+   Completed patches accumulate in [patches] so a mid-flight timeout keeps
+   the targets already substituted. *)
+let sat_pipeline config (miter : Miter.t) notes sat_calls patches =
+  List.iter
+    (fun (name, _) ->
+      let m_i = Miter.quantify_others miter ~keep:name in
+      let tc = Two_copy.build miter ~m_i ~target:name in
+      let budget = config.sat_budget in
+      let selection =
+        match config.method_ with
+        | Baseline -> Support.baseline ~budget tc
+        | Min_assume -> Support.with_min_assume ~budget ~last_gasp:config.last_gasp tc
+        | Exact -> (
+          (* Warm start: the minimal (not minimum) support doubles as the
+             incumbent upper bound for the exact search; if the exact loop
+             exhausts its budget the incumbent stands (the paper's
+             local-optimum behaviour on multi-target units). *)
+          let incumbent =
+            Support.with_min_assume ~budget ~last_gasp:config.last_gasp tc
+          in
+          match
+            Sat_prune.minimum_support ~budget ~max_iterations:150
+              ~deadline:config.sat_prune_deadline ?incumbent tc
+          with
+          | o ->
+            notes := ("sat_prune_iterations", o.Sat_prune.iterations) :: !notes;
+            o.Sat_prune.selection
+          | exception Min_assume.Budget_exhausted when incumbent <> None ->
+            notes := ("sat_prune_fallback", 1) :: !notes;
+            incumbent)
+      in
+      sat_calls := !sat_calls + Two_copy.solver_calls tc;
+      match selection with
+      | None -> raise (Step_infeasible name)
+      | Some sel ->
+        let pf =
+          Patch_fun.compute ~budget ~max_cubes:config.max_cubes ~deadline:config.patch_deadline
+            miter ~m_i ~target:name ~chosen:sel.Support.indices
+        in
+        sat_calls := !sat_calls + pf.Patch_fun.sat_calls;
+        notes := ("cubes_" ^ name, pf.Patch_fun.cubes_enumerated) :: !notes;
+        let support_lits =
+          List.map (fun i -> miter.Miter.divisors.(i).Miter.div_lit) sel.Support.indices
+        in
+        let lit = Patch.import_into pf.Patch_fun.patch miter.Miter.mgr ~support_lits in
+        Miter.substitute_patch miter ~target:name lit;
+        patches := pf.Patch_fun.patch :: !patches)
+    (Miter.remaining_targets miter)
+
+(* Structural fallback (§3.6) for every remaining target. *)
+let structural_pipeline config (miter : Miter.t) window certificate notes =
+  let remaining = Miter.remaining_targets miter in
+  let k = List.length remaining in
+  let patches =
+    match remaining with
+    | [] -> []
+    | [ (name, _) ] ->
+      notes := ("miter_copies", 1) :: !notes;
+      [ Structural.single_target miter ~target:name ~window ]
+    | _ ->
+      let cert =
+        match certificate with
+        | Some c when c <> [] && Array.length (List.hd c) = k -> c
+        | _ when k <= 5 ->
+          (* Full enumeration is cheap for few targets; the 2QBF certificate
+             only pays off when 2^k copies would hurt. *)
+          Structural.full_certificate k
+        | _ ->
+          let answer, _ =
+            Qbf.Qbf2.solve miter.Miter.mgr ~phi:miter.Miter.miter_lit
+              ~exists_inputs:(Miter.x_lits miter)
+              ~forall_inputs:(List.map snd remaining)
+              ~budget:(max 10_000 (config.feasibility_budget / 4))
+          in
+          (match answer with
+          | Qbf.Qbf2.Unsat cert when cert <> [] -> cert
+          | _ ->
+            if k > 16 then failwith "structural: too many targets for full enumeration";
+            Structural.full_certificate k)
+      in
+      notes := ("miter_copies", Structural.copies_used ~certificate:cert) :: !notes;
+      Structural.multi_target miter ~certificate:cert ~window
+  in
+  (* Optional CEGAR_min improvement: patches are improved individually
+     (signals chosen by earlier ones priced as free), and the whole batch
+     is kept only if the union cost actually improves — individual wins
+     can lose union-wise when they break support sharing. *)
+  let patches =
+    if config.use_cegar_min then begin
+      let used = ref [] in
+      let improved =
+        List.map
+          (fun p ->
+            let p', st = Cegar_min.improve ~budget:config.sat_budget ~free:!used miter p in
+            notes := ("cegar_min_confirmed", st.Cegar_min.confirmed) :: !notes;
+            used := List.map fst p'.Patch.support @ !used;
+            p')
+          patches
+      in
+      let better =
+        match compare (union_cost improved) (union_cost patches) with
+        | c when c < 0 -> true
+        | 0 -> total_gates improved < total_gates patches
+        | _ -> false
+      in
+      if better then improved else patches
+    end
+    else patches
+  in
+  (* Resynthesis (SAT sweeping) after the support decisions: shrinks the
+     reported gate counts without touching costs. *)
+  let patches =
+    if config.sweep_patches then List.map Patch.sweep patches else patches
+  in
+  List.map
+    (fun p ->
+      let support_lits =
+        List.map
+          (fun (name, _) ->
+            match List.assoc_opt name miter.Miter.x_inputs with
+            | Some l -> l
+            | None -> (
+              match
+                Array.find_opt (fun d -> d.Miter.div_name = name) miter.Miter.divisors
+              with
+              | Some d -> d.Miter.div_lit
+              | None -> failwith ("structural: support signal not found: " ^ name)))
+          p.Patch.support
+      in
+      let lit = Patch.import_into p miter.Miter.mgr ~support_lits in
+      Miter.substitute_patch miter ~target:p.Patch.target lit;
+      p)
+    patches
+
+let solve ?(config = default_config) inst =
+  let t0 = Unix.gettimeofday () in
+  let notes = ref [] in
+  let sat_calls = ref 0 in
+  let finish ?miter status patches used_structural =
+    (* Verification ladder: random simulation (inside Verify.check), then
+       the substituted miter — whose two sides share structure, making the
+       UNSAT proof far easier than a from-scratch CEC — then the full
+       netlist-level CEC. *)
+    let miter_says () =
+      match miter with
+      | Some (m : Miter.t) when m.Miter.patched <> [] -> (
+        match Cec.check_lit ~budget:config.verify_budget m.Miter.mgr m.Miter.miter_lit with
+        | Cec.Equivalent -> Some true
+        | Cec.Counterexample _ -> Some false
+        | Cec.Undecided -> None)
+      | _ -> None
+    in
+    let verified =
+      match (status, config.verify, patches) with
+      | Solved, true, _ :: _ -> (
+        match miter_says () with
+        | Some true -> (
+          (* The window outputs are rectified; confirm the whole netlist
+             (covers outputs outside the window) with the remaining
+             budget. *)
+          match Verify.check ~budget:config.verify_budget inst patches with
+          | Cec.Equivalent -> Some true
+          | Cec.Counterexample _ -> Some false
+          | Cec.Undecided -> Some true)
+        | Some false -> Some false
+        | None -> (
+          match Verify.check ~budget:config.verify_budget inst patches with
+          | Cec.Equivalent -> Some true
+          | Cec.Counterexample _ -> Some false
+          | Cec.Undecided -> None))
+      | _ -> None
+    in
+    {
+      status;
+      patches;
+      cost = union_cost patches;
+      gates = total_gates patches;
+      time = Unix.gettimeofday () -. t0;
+      verified;
+      used_structural;
+      sat_calls = !sat_calls;
+      notes = List.rev !notes;
+    }
+  in
+  try
+    let window = Window.compute inst in
+    let miter = Miter.build inst window in
+    if config.force_structural then begin
+      let patches = structural_pipeline config miter window None notes in
+      finish ~miter Solved patches true
+    end
+    else begin
+      match check_feasibility config miter notes with
+      | Not_feasible -> finish Infeasible [] false
+      | Feasibility_unknown ->
+        (* §3.2: assume a solution exists and derive a structural patch. *)
+        let patches = structural_pipeline config miter window None notes in
+        finish ~miter Solved patches true
+      | Feasible certificate -> (
+        let acc = ref [] in
+        try
+          sat_pipeline config miter notes sat_calls acc;
+          finish ~miter Solved (List.rev !acc) false
+        with Min_assume.Budget_exhausted ->
+          (* SAT timed out mid-flight: already-substituted patches stay;
+             the remaining targets get structural patches. *)
+          let structural = structural_pipeline config miter window certificate notes in
+          finish ~miter Solved (List.rev !acc @ structural) true)
+    end
+  with
+  | Step_infeasible t -> finish (Failed ("target cannot rectify: " ^ t)) [] false
+  | Failure msg -> finish (Failed msg) [] false
+
+let pp_outcome ppf o =
+  let status =
+    match o.status with
+    | Solved -> "solved"
+    | Infeasible -> "infeasible"
+    | Failed m -> "failed: " ^ m
+  in
+  Format.fprintf ppf "%s cost=%d gates=%d time=%.2fs structural=%b verified=%s" status o.cost
+    o.gates o.time o.used_structural
+    (match o.verified with Some true -> "yes" | Some false -> "NO" | None -> "-")

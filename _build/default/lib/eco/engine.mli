@@ -1,0 +1,58 @@
+(** The top-level ECO flow of Figure 2: window computation, miter
+    construction, feasibility checking, per-target support selection and
+    patch-function computation with substitution, structural fallback, and
+    final verification. *)
+
+type method_ =
+  | Baseline  (** support from [analyze_final] only — Table 1 columns 7–9 *)
+  | Min_assume  (** Algorithm 1 + last gasp — the contest winner, cols 10–12 *)
+  | Exact  (** SAT_prune minimum support + CEGAR_min — cols 13–15 *)
+
+type config = {
+  method_ : method_;
+  sat_budget : int;  (** conflicts per SAT call; 0 = unlimited *)
+  feasibility_budget : int;
+  last_gasp : bool;
+  use_cegar_min : bool;
+  force_structural : bool;
+      (** skip the SAT pipeline, emulating a feasibility timeout *)
+  use_qbf : bool;
+      (** use CEGAR 2QBF for feasibility, retaining its certificate for the
+          structural multi-target patch *)
+  verify : bool;
+  verify_budget : int;
+      (** conflicts for each step of the verification ladder (simulation,
+          shared-structure miter check, netlist CEC) *)
+  max_cubes : int;
+  sat_prune_deadline : float;
+      (** wall-clock seconds per target before the exact search yields to
+          its incumbent *)
+  sweep_patches : bool;
+      (** SAT-sweep structural patch circuits before reporting/improving
+          them (the ABC-resynthesis step of the paper's flow) *)
+  patch_deadline : float;
+      (** wall-clock seconds per target for cube enumeration before the
+          engine falls back to the structural path *)
+}
+
+val config_of_method : method_ -> config
+val default_config : config
+
+type status = Solved | Infeasible | Failed of string
+
+type outcome = {
+  status : status;
+  patches : Patch.t list;
+  cost : int;  (** total weight of the distinct support signals *)
+  gates : int;  (** total patch AND-gates *)
+  time : float;  (** wall-clock seconds *)
+  verified : bool option;
+  used_structural : bool;
+  sat_calls : int;
+  notes : (string * int) list;
+      (** auxiliary counters: cubes, 2QBF iterations, miter copies, … *)
+}
+
+val solve : ?config:config -> Instance.t -> outcome
+
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,43 @@
+type t = {
+  name : string;
+  impl : Netlist.t;
+  spec : Netlist.t;
+  targets : string list;
+  weights : Netlist.Weights.weights;
+}
+
+let make ?(name = "eco") ~impl ~spec ~targets ~weights () =
+  let sorted l = List.sort compare l in
+  if sorted (Netlist.inputs impl) <> sorted (Netlist.inputs spec) then
+    failwith "Instance.make: implementation and specification input sets differ";
+  if sorted (Netlist.outputs impl) <> sorted (Netlist.outputs spec) then
+    failwith "Instance.make: implementation and specification output sets differ";
+  if targets = [] then failwith "Instance.make: no targets";
+  List.iter
+    (fun t ->
+      if not (Netlist.mem impl t) then failwith (Printf.sprintf "Instance.make: unknown target %s" t);
+      if (Netlist.node impl t).Netlist.gate = Netlist.Input then
+        failwith (Printf.sprintf "Instance.make: target %s is a primary input" t))
+    targets;
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun t ->
+      if Hashtbl.mem seen t then failwith (Printf.sprintf "Instance.make: duplicate target %s" t);
+      Hashtbl.replace seen t ())
+    targets;
+  { name; impl; spec; targets; weights }
+
+let pp ppf t =
+  Format.fprintf ppf "%s: impl(%a) spec(%a) targets=[%s]" t.name Netlist.pp_stats t.impl
+    Netlist.pp_stats t.spec
+    (String.concat "," t.targets)
+
+let load ?name ~impl_file ~spec_file ~targets ~weight_file () =
+  let impl = Netlist.Verilog.read_file impl_file in
+  let spec = Netlist.Verilog.read_file spec_file in
+  let weights =
+    match weight_file with
+    | Some f -> Netlist.Weights.read_file f
+    | None -> Netlist.Weights.uniform impl 1
+  in
+  make ?name ~impl ~spec ~targets ~weights ()

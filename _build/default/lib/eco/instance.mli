@@ -1,0 +1,30 @@
+(** An ECO problem instance: old implementation, new specification, target
+    signals in the implementation, and per-signal resource weights —
+    exactly the contents of one 2017 ICCAD Contest Problem A unit. *)
+
+type t = private {
+  name : string;
+  impl : Netlist.t;
+  spec : Netlist.t;
+  targets : string list;
+  weights : Netlist.Weights.weights;
+}
+
+val make :
+  ?name:string ->
+  impl:Netlist.t ->
+  spec:Netlist.t ->
+  targets:string list ->
+  weights:Netlist.Weights.weights ->
+  unit ->
+  t
+(** Validates that both netlists have identical input and output name sets
+    and that every target names a non-input implementation node.
+    Raises [Failure] otherwise. *)
+
+val pp : Format.formatter -> t -> unit
+
+val load :
+  ?name:string -> impl_file:string -> spec_file:string -> targets:string list ->
+  weight_file:string option -> unit -> t
+(** Reads Verilog netlists and an optional weight file from disk. *)

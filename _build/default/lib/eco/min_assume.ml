@@ -1,0 +1,49 @@
+type stats = { mutable solver_calls : int }
+
+let create_stats () = { solver_calls = 0 }
+
+exception Budget_exhausted
+
+let split_half l =
+  let n = List.length l in
+  let k = (n + 1) / 2 in
+  let rec go i acc rest =
+    if i = k then (List.rev acc, rest)
+    else match rest with [] -> (List.rev acc, []) | x :: r -> go (i + 1) (x :: acc) r
+  in
+  go 0 [] l
+
+let minimize ?stats ~unsat ~base a =
+  let check subset =
+    (match stats with Some s -> s.solver_calls <- s.solver_calls + 1 | None -> ());
+    unsat subset
+  in
+  let rec go base a =
+    match a with
+    | [] -> []
+    | [ x ] -> if check base then [] else [ x ]
+    | _ ->
+      let low, high = split_half a in
+      if check (base @ low) then go base low
+      else begin
+        (* Some of [high] is necessary; find its minimal part under all of
+           [low], then shrink [low] under the selected part of [high]. *)
+        let sel_high = go (base @ low) high in
+        let sel_low = go (base @ sel_high) low in
+        sel_high @ sel_low
+      end
+  in
+  go base a
+
+let minimize_linear ?stats ~unsat ~base a =
+  let check subset =
+    (match stats with Some s -> s.solver_calls <- s.solver_calls + 1 | None -> ());
+    unsat subset
+  in
+  (* Try dropping each element while keeping the rest. *)
+  let rec go kept = function
+    | [] -> List.rev kept
+    | x :: rest ->
+      if check (base @ List.rev_append kept rest) then go kept rest else go (x :: kept) rest
+  in
+  go [] a

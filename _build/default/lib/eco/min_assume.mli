@@ -1,0 +1,39 @@
+(** Algorithm 1 of the paper: [minimize_assumptions], the divide-and-
+    conquer computation of a minimal assumption subset that keeps a CNF
+    unsatisfiable.  Closely related to LEXUNSAT; with the assumptions
+    sorted by ascending cost, the result is a minimal set that prefers
+    cheap assumptions — O(max(log N, M)) solver calls instead of the O(N)
+    of one-at-a-time filtering. *)
+
+type stats = { mutable solver_calls : int }
+
+val create_stats : unit -> stats
+
+exception Budget_exhausted
+(** Raised when the underlying oracle reports an exhausted conflict
+    budget. *)
+
+val minimize :
+  ?stats:stats ->
+  unsat:(Sat.Lit.t list -> bool) ->
+  base:Sat.Lit.t list ->
+  Sat.Lit.t list ->
+  Sat.Lit.t list
+(** [minimize ~unsat ~base a] assumes [unsat (base @ a) = true] and returns
+    a minimal sublist [m] of [a] (in order) such that [unsat (base @ m)]:
+    removing any single element of [m] makes the instance satisfiable.
+    [unsat subset] must decide "is the formula unsatisfiable under [base]
+    plus these assumptions" and may raise {!Budget_exhausted}.
+
+    Preference: elements earlier in [a] are favored — when a prefix
+    suffices, later elements are never examined, which is what makes the
+    cost-sorted call produce low-cost supports. *)
+
+val minimize_linear :
+  ?stats:stats ->
+  unsat:(Sat.Lit.t list -> bool) ->
+  base:Sat.Lit.t list ->
+  Sat.Lit.t list ->
+  Sat.Lit.t list
+(** The naive O(N) reference: drops assumptions one at a time.  Used as the
+    comparison point of ablation B and in tests as a minimality oracle. *)

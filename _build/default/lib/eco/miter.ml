@@ -1,0 +1,65 @@
+type divisor = { div_name : string; div_cost : int; div_lit : Aig.lit }
+
+type t = {
+  mgr : Aig.t;
+  x_inputs : (string * Aig.lit) list;
+  targets : (string * Aig.lit) list;
+  mutable miter_lit : Aig.lit;
+  divisors : divisor array;
+  mutable patched : string list;
+}
+
+let build (inst : Instance.t) (window : Window.t) =
+  let mgr = Aig.create () in
+  (* Implementation side, with targets cut into fresh inputs. *)
+  let impl_conv = Netlist.Convert.to_aig ~cut:inst.Instance.targets ~mgr inst.Instance.impl in
+  (* Specification side shares the primary-input literals by name. *)
+  let spec_conv =
+    Netlist.Convert.to_aig ~mgr ~pi_map:impl_conv.Netlist.Convert.lit_of_name inst.Instance.spec
+  in
+  let impl_lit name = Hashtbl.find impl_conv.Netlist.Convert.lit_of_name name in
+  let spec_lit name = Hashtbl.find spec_conv.Netlist.Convert.lit_of_name name in
+  (* The miter ORs the XORs of the window outputs only (§3.3). *)
+  let diffs =
+    List.map (fun po -> Aig.xor_ mgr (impl_lit po) (spec_lit po)) window.Window.window_pos
+  in
+  let miter_lit = Aig.or_list mgr diffs in
+  let x_inputs = List.map (fun pi -> (pi, impl_lit pi)) (Netlist.inputs inst.Instance.impl) in
+  let divisors =
+    Array.of_list
+      (List.map
+         (fun (name, cost) -> { div_name = name; div_cost = cost; div_lit = impl_lit name })
+         window.Window.divisors)
+  in
+  {
+    mgr;
+    x_inputs;
+    targets = impl_conv.Netlist.Convert.target_inputs;
+    miter_lit;
+    divisors;
+    patched = [];
+  }
+
+let target_lit t name =
+  match List.assoc_opt name t.targets with
+  | Some l -> l
+  | None -> invalid_arg (Printf.sprintf "Miter.target_lit: unknown target %s" name)
+
+let remaining_targets t = List.filter (fun (n, _) -> not (List.mem n t.patched)) t.targets
+
+let quantify_over t lits =
+  List.fold_left (fun f (_, var) -> Aig.forall t.mgr ~var f) t.miter_lit lits
+
+let quantify_others t ~keep =
+  quantify_over t (List.filter (fun (n, _) -> n <> keep) (remaining_targets t))
+
+let quantify_all t = quantify_over t (remaining_targets t)
+
+let substitute_patch t ~target patch =
+  let n_lit = target_lit t target in
+  (match Aig.substitute t.mgr ~input:n_lit patch [ t.miter_lit ] with
+  | [ l ] -> t.miter_lit <- l
+  | _ -> assert false);
+  t.patched <- target :: t.patched
+
+let x_lits t = List.map snd t.x_inputs

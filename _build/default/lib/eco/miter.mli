@@ -1,0 +1,38 @@
+(** The ECO miter M(n, x) of Figure 1: the implementation with its targets
+    cut into free inputs n, XOR-compared output-by-output against the
+    specification over shared window inputs x.  M evaluates to 1 exactly on
+    the (n, x) pairs where the two sides differ. *)
+
+type divisor = { div_name : string; div_cost : int; div_lit : Aig.lit }
+
+type t = {
+  mgr : Aig.t;
+  x_inputs : (string * Aig.lit) list;  (** primary input name -> AIG input *)
+  targets : (string * Aig.lit) list;  (** target name -> fresh input n_i *)
+  mutable miter_lit : Aig.lit;
+      (** current M; updated by {!substitute_patch} as targets get fixed *)
+  divisors : divisor array;  (** candidate divisors, ascending cost *)
+  mutable patched : string list;  (** targets already substituted *)
+}
+
+val build : Instance.t -> Window.t -> t
+
+val quantify_others : t -> keep:string -> Aig.lit
+(** [quantify_others m ~keep] universally quantifies every unpatched target
+    except [keep] out of the current miter (§3.1): the result is
+    M_i(n_i, x) over [keep]'s input and x. *)
+
+val quantify_all : t -> Aig.lit
+(** Universal quantification of every remaining target: the §3.2
+    feasibility circuit; satisfiable iff the ECO has no solution. *)
+
+val substitute_patch : t -> target:string -> Aig.lit -> unit
+(** Replaces the target's free input by the patch function (a literal of
+    [mgr] over divisor/input cones) inside the current miter. *)
+
+val target_lit : t -> string -> Aig.lit
+
+val remaining_targets : t -> (string * Aig.lit) list
+(** Targets not yet substituted. *)
+
+val x_lits : t -> Aig.lit list

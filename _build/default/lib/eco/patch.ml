@@ -1,0 +1,54 @@
+type t = {
+  target : string;
+  support : (string * int) list;
+  circuit : Aig.t;
+  gates : int;
+  sop : Twolevel.Sop.t option;
+}
+
+let cost p = List.fold_left (fun acc (_, c) -> acc + c) 0 p.support
+
+let make ?sop ~target ~support circuit =
+  if Aig.num_outputs circuit <> 1 then invalid_arg "Patch.make: expected one output";
+  if Aig.num_inputs circuit <> List.length support then
+    invalid_arg "Patch.make: support/input arity mismatch";
+  let gates = Aig.count_cone_ands circuit [ Aig.output circuit 0 ] in
+  { target; support; circuit; gates; sop }
+
+let of_expr ?sop ~target ~support expr =
+  let m = Aig.create () in
+  let vars = Aig.add_inputs m (List.length support) in
+  let out = Twolevel.Factor.expr_to_aig m vars expr in
+  ignore (Aig.add_output m out);
+  make ?sop ~target ~support m
+
+let import_into p dst ~support_lits =
+  if List.length support_lits <> List.length p.support then
+    invalid_arg "Patch.import_into: support arity";
+  let map = Aig.fresh_map p.circuit in
+  Array.iteri
+    (fun i l -> map.(Aig.node_of l) <- List.nth support_lits i)
+    (Aig.inputs p.circuit);
+  match Aig.import dst p.circuit ~map [ Aig.output p.circuit 0 ] with
+  | [ l ] -> l
+  | _ -> assert false
+
+let eval p bits = Aig.eval p.circuit bits (Aig.output p.circuit 0)
+
+let pp ppf p =
+  Format.fprintf ppf "patch(%s): support=[%s] cost=%d gates=%d" p.target
+    (String.concat "," (List.map fst p.support))
+    (cost p) p.gates
+
+let sweep p =
+  (* Adaptive effort: huge cofactor-tree patches get cheap, bounded
+     queries and more simulation up front. *)
+  let big = p.gates > 1000 in
+  let swept, _stats =
+    Aig.Fraig.sweep
+      ~budget:(if big then 100 else 2000)
+      ~rounds:(if big then 16 else 8)
+      ~max_passes:(if big then 2 else 4)
+      ~deadline:5.0 p.circuit
+  in
+  make ?sop:p.sop ~target:p.target ~support:p.support swept

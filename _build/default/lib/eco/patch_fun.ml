@@ -1,0 +1,84 @@
+type result = {
+  patch : Patch.t;
+  cubes_enumerated : int;
+  sat_calls : int;
+}
+
+let compute ?(budget = 0) ?(max_cubes = 50_000) ?(deadline = 0.0) (miter : Miter.t) ~m_i ~target
+    ~chosen =
+  let stop_at = if deadline > 0.0 then Unix.gettimeofday () +. deadline else 0.0 in
+  let solver = Sat.Solver.create () in
+  let env = Aig.Cnf.create miter.Miter.mgr solver in
+  let m_sat = Aig.Cnf.lit env m_i in
+  let n_sat = Aig.Cnf.lit env (Miter.target_lit miter target) in
+  let divisors = Array.of_list (List.map (fun i -> miter.Miter.divisors.(i)) chosen) in
+  let d_sat = Array.map (fun d -> Aig.Cnf.lit env d.Miter.div_lit) divisors in
+  let k = Array.length divisors in
+  let support =
+    Array.to_list (Array.map (fun d -> (d.Miter.div_name, d.Miter.div_cost)) divisors)
+  in
+  let solve assumptions =
+    if budget > 0 then Sat.Solver.set_budget solver budget;
+    match Sat.Solver.solve ~assumptions solver with
+    | Sat.Solver.Unknown -> raise Min_assume.Budget_exhausted
+    | r -> r
+  in
+  let unsat assumptions = solve assumptions = Sat.Solver.Unsat in
+  (* Offset base: the miter fires under n = 1. *)
+  let offset_base = [ m_sat; n_sat ] in
+  (* Onset query: the miter fires under n = 0, outside all blocked cubes. *)
+  let onset_assumptions = [ m_sat; Sat.Lit.neg n_sat ] in
+  let cubes = ref [] in
+  let n_cubes = ref 0 in
+  let tautology = ref false in
+  let continue = ref true in
+  while !continue do
+    if !n_cubes > max_cubes then raise Min_assume.Budget_exhausted;
+    if stop_at > 0.0 && Unix.gettimeofday () > stop_at then raise Min_assume.Budget_exhausted;
+    match solve onset_assumptions with
+    | Sat.Solver.Unsat -> continue := false
+    | Sat.Solver.Unknown -> raise Min_assume.Budget_exhausted
+    | Sat.Solver.Sat ->
+      (* Divisor-space point of this onset witness. *)
+      let point = Array.map (fun sl -> Sat.Solver.value solver sl) d_sat in
+      let cand =
+        List.init k (fun i -> Sat.Lit.apply_sign d_sat.(i) (not point.(i)))
+      in
+      (* The full cube must avoid the offset; otherwise the divisor set was
+         not sufficient. *)
+      if not (unsat (offset_base @ cand)) then
+        failwith "Patch_fun.compute: divisor subset is not a valid support";
+      (* Expand to a prime cube: minimal literal subset keeping the offset
+         side unsatisfiable. *)
+      let prime = Min_assume.minimize ~unsat ~base:offset_base cand in
+      incr n_cubes;
+      if prime = [] then begin
+        (* Empty cube: the offset is empty — the patch is constant 1. *)
+        tautology := true;
+        continue := false
+      end
+      else begin
+        (* Recover (divisor index, phase): a kept literal is cand_i, whose
+           phase in the cube is the model value of the divisor. *)
+        let index_of l =
+          let rec find i =
+            if i >= k then invalid_arg "Patch_fun: unknown literal"
+            else if Sat.Lit.var d_sat.(i) = Sat.Lit.var l then i
+            else find (i + 1)
+          in
+          find 0
+        in
+        let lits = List.map (fun l -> let i = index_of l in (i, point.(i))) prime in
+        cubes := Twolevel.Cube.of_literals k lits :: !cubes;
+        (* Block the cube on the onset side (it is offset-free, so blocking
+           it globally removes no offset point). *)
+        Sat.Solver.add_clause solver (List.map Sat.Lit.neg prime)
+      end
+  done;
+  let sop =
+    if !tautology then Twolevel.Sop.one k
+    else Twolevel.Sop.scc_minimize (Twolevel.Sop.create k (List.rev !cubes))
+  in
+  let expr = Twolevel.Factor.factor sop in
+  let patch = Patch.of_expr ~sop ~target ~support expr in
+  { patch; cubes_enumerated = !n_cubes; sat_calls = Sat.Solver.n_solve_calls solver }

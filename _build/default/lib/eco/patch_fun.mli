@@ -1,0 +1,31 @@
+(** Patch function computation by cube enumeration (§3.5).
+
+    Given the quantified one-target miter M_i(n, x) and a sufficient
+    divisor subset d, enumerates the onset of the patch: each satisfying
+    assignment of M_i under n = 0 yields a divisor-space point; the point
+    is expanded to a prime cube by [minimize_assumptions] against the
+    offset (M_i under n = 1), blocked, and collected.  The loop ends with
+    an irredundant prime SOP which is factored and synthesized — no
+    general interpolation needed. *)
+
+type result = {
+  patch : Patch.t;
+  cubes_enumerated : int;
+  sat_calls : int;
+}
+
+val compute :
+  ?budget:int ->
+  ?max_cubes:int ->
+  ?deadline:float ->
+  Miter.t ->
+  m_i:Aig.lit ->
+  target:string ->
+  chosen:int list ->
+  result
+(** [chosen] are divisor indices into the miter's divisor array.  The
+    divisor subset must be sufficient (expression (2) unsatisfiable), as
+    established by {!Support} — otherwise the enumeration detects the
+    inconsistency and raises [Failure].  Raises
+    {!Min_assume.Budget_exhausted} on conflict-budget timeout, cube-cap
+    overflow, or when [deadline] (wall-clock seconds) passes. *)

@@ -1,0 +1,72 @@
+type result = {
+  patch : Patch.t;
+  proof_nodes : int;
+  raw_gates : int;
+}
+
+let compute ?(budget = 0) (miter : Miter.t) ~m_i ~target ~chosen =
+  let src = miter.Miter.mgr in
+  let divisors = Array.of_list (List.map (fun i -> miter.Miter.divisors.(i)) chosen) in
+  let support =
+    Array.to_list (Array.map (fun d -> (d.Miter.div_name, d.Miter.div_cost)) divisors)
+  in
+  let n_lit = Miter.target_lit miter target in
+  (* Two copies over disjoint input sets in a fresh manager. *)
+  let mgr2 = Aig.create () in
+  let import_copy phase =
+    let map = Aig.fresh_map src in
+    List.iter (fun (_, l) -> map.(Aig.node_of l) <- Aig.add_input mgr2) miter.Miter.x_inputs;
+    map.(Aig.node_of n_lit) <- (if phase then Aig.true_ else Aig.false_);
+    match
+      Aig.import mgr2 src ~map
+        (m_i :: Array.to_list (Array.map (fun d -> d.Miter.div_lit) divisors))
+    with
+    | m :: ds -> (m, Array.of_list ds)
+    | [] -> assert false
+  in
+  let m0, d1 = import_copy false in
+  let m1, d2 = import_copy true in
+  let solver = Sat.Solver.create ~proof:true () in
+  let env_a = Aig.Cnf.create ~part:Sat.Proof.Part_a mgr2 solver in
+  let env_b = Aig.Cnf.create ~part:Sat.Proof.Part_b mgr2 solver in
+  (* Shared d variables, tied to each copy's divisor function on its side
+     of the partition. *)
+  let shared = Array.map (fun _ -> Sat.Lit.make (Sat.Solver.new_var solver)) divisors in
+  Array.iteri
+    (fun i d_shared ->
+      let l1 = Aig.Cnf.lit env_a d1.(i) in
+      Sat.Solver.add_clause_part solver Sat.Proof.Part_a [ Sat.Lit.neg d_shared; l1 ];
+      Sat.Solver.add_clause_part solver Sat.Proof.Part_a [ d_shared; Sat.Lit.neg l1 ];
+      let l2 = Aig.Cnf.lit env_b d2.(i) in
+      Sat.Solver.add_clause_part solver Sat.Proof.Part_b [ Sat.Lit.neg d_shared; l2 ];
+      Sat.Solver.add_clause_part solver Sat.Proof.Part_b [ d_shared; Sat.Lit.neg l2 ])
+    shared;
+  Sat.Solver.add_clause_part solver Sat.Proof.Part_a [ Aig.Cnf.lit env_a m0 ];
+  Sat.Solver.add_clause_part solver Sat.Proof.Part_b [ Aig.Cnf.lit env_b m1 ];
+  if budget > 0 then Sat.Solver.set_budget solver budget;
+  (match Sat.Solver.solve solver with
+  | Sat.Solver.Unsat -> ()
+  | Sat.Solver.Sat -> failwith "Patch_interp.compute: divisor subset is not a valid support"
+  | Sat.Solver.Unknown -> raise Min_assume.Budget_exhausted);
+  let proof =
+    match Sat.Solver.proof solver with Some p -> p | None -> assert false
+  in
+  (* Interpolant over the shared d variables, built in a standalone patch
+     manager whose inputs follow the support order. *)
+  let pm = Aig.create () in
+  let inputs = Aig.add_inputs pm (Array.length divisors) in
+  let var_to_input = Hashtbl.create 16 in
+  Array.iteri (fun i sl -> Hashtbl.replace var_to_input (Sat.Lit.var sl) inputs.(i)) shared;
+  let shared_input v =
+    match Hashtbl.find_opt var_to_input v with
+    | Some l -> l
+    | None ->
+      (* A shared variable that is not one of the d's cannot exist: the two
+         copies have disjoint Tseitin variables. *)
+      invalid_arg "Patch_interp: unexpected shared variable"
+  in
+  let interpolant = Aig.Interp.extract pm ~proof ~shared_input in
+  let raw_gates = Aig.count_cone_ands pm [ interpolant ] in
+  ignore (Aig.add_output pm interpolant);
+  let patch = Patch.make ~target ~support pm in
+  { patch; proof_nodes = Sat.Proof.size proof; raw_gates }

@@ -1,0 +1,30 @@
+(** Interpolation-based patch function computation — the previous-work
+    approach (Wu et al., ICCAD'10 [15]) the paper's cube enumeration is
+    measured against (§1: "faster computation of patch functions using
+    cube-enumeration rather than general interpolation").
+
+    The unsatisfiable instance is expression (3):
+
+      [M(0, x1) & R(d, x1)]  ∧  [M(1, x2) & R(d, x2)]
+
+    with the d variables shared between the two halves.  A proof-logging
+    SAT run refutes it; McMillan interpolation over the recorded resolution
+    proof yields a patch function I(d) sitting between the onset
+    (everything M(0,·) can produce) and the complement of the offset. *)
+
+type result = {
+  patch : Patch.t;
+  proof_nodes : int;  (** size of the logged resolution proof *)
+  raw_gates : int;  (** interpolant AND-count before any cleanup *)
+}
+
+val compute :
+  ?budget:int ->
+  Miter.t ->
+  m_i:Aig.lit ->
+  target:string ->
+  chosen:int list ->
+  result
+(** Same contract as {!Patch_fun.compute}: [chosen] must be a sufficient
+    divisor subset.  Raises {!Min_assume.Budget_exhausted} on timeout and
+    [Failure] if the instance is unexpectedly satisfiable. *)

@@ -1,0 +1,33 @@
+(** SAT-based exact pruning (§3.4.2): minimum-cost patch support.
+
+    Realized as an implicit-hitting-set loop — the modern formulation of
+    the paper's "iteratively prune the search space by adding new clauses":
+    an infeasible candidate subset S yields the refinement clause "at least
+    one divisor whose two copies differ in the counterexample must be
+    selected" (blocking infeasible divisors), and the exact hitting-set
+    solver enforces the cost bound (blocking selections that cannot beat
+    the current minimum).  When the candidate hitting set is feasible its
+    cost equals the true minimum, because the hitting-set cost lower-bounds
+    every feasible support.  Guarantees a cost-minimum patch support for a
+    single target; for multiple targets the per-target optima may compose
+    into a global local optimum, as the paper observes on unit9/unit17. *)
+
+type outcome = {
+  selection : Support.selection option;  (** [None]: infeasible *)
+  iterations : int;
+  hs_clauses : int;
+}
+
+val minimum_support :
+  ?budget:int ->
+  ?max_iterations:int ->
+  ?deadline:float ->
+  ?incumbent:Support.selection ->
+  Two_copy.t ->
+  outcome
+(** [incumbent] is a known feasible selection (e.g. the
+    [minimize_assumptions] result): as soon as the hitting-set lower bound
+    reaches its cost the incumbent is returned as provably minimum, which
+    prunes most of the refinement loop.  Raises
+    {!Min_assume.Budget_exhausted} when a SAT call times out or the
+    iteration cap is hit. *)

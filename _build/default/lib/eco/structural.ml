@@ -1,0 +1,91 @@
+(* Build a standalone patch circuit from a literal of the miter manager
+   whose cone only reaches the window primary inputs. *)
+let patch_of_miter_lit (miter : Miter.t) ~target ~(window : Window.t) lit =
+  let support =
+    List.filter_map
+      (fun name -> Option.map (fun l -> (name, l)) (List.assoc_opt name miter.Miter.x_inputs))
+      window.Window.window_pis
+  in
+  let m = Aig.create () in
+  let map = Aig.fresh_map miter.Miter.mgr in
+  let support_named =
+    List.map
+      (fun (name, src_lit) ->
+        let inp = Aig.add_input m in
+        map.(Aig.node_of src_lit) <- inp;
+        name)
+      support
+  in
+  match Aig.import m miter.Miter.mgr ~map [ lit ] with
+  | [ out ] ->
+    ignore (Aig.add_output m out);
+    (* Weights of primary inputs come from the instance weight table via
+       the divisor array when present; PIs missing there default to 1. *)
+    let cost_of name =
+      match
+        Array.find_opt (fun d -> d.Miter.div_name = name) miter.Miter.divisors
+      with
+      | Some d -> d.Miter.div_cost
+      | None -> 1
+    in
+    Patch.make ~target ~support:(List.map (fun n -> (n, cost_of n)) support_named) m
+  | _ -> assert false
+
+let cofactor_targets (miter : Miter.t) assignment =
+  let mgr = miter.Miter.mgr in
+  let remaining = Miter.remaining_targets miter in
+  let l = ref miter.Miter.miter_lit in
+  List.iteri
+    (fun i (_, var) ->
+      match Aig.cofactor mgr ~var assignment.(i) [ !l ] with
+      | [ l' ] -> l := l'
+      | _ -> assert false)
+    remaining;
+  !l
+
+let single_target (miter : Miter.t) ~target ~window =
+  let n_lit = Miter.target_lit miter target in
+  let patch_lit =
+    match Aig.cofactor miter.Miter.mgr ~var:n_lit false [ miter.Miter.miter_lit ] with
+    | [ l ] -> l
+    | _ -> assert false
+  in
+  patch_of_miter_lit miter ~target ~window patch_lit
+
+let full_certificate k =
+  List.init (1 lsl k) (fun code -> Array.init k (fun i -> (code lsr i) land 1 = 1))
+
+let copies_used ~certificate = List.length certificate
+
+let multi_target (miter : Miter.t) ~certificate ~window =
+  let remaining = Miter.remaining_targets miter in
+  let k = List.length remaining in
+  if certificate = [] then invalid_arg "Structural.multi_target: empty certificate";
+  List.iter
+    (fun a -> if Array.length a <> k then invalid_arg "Structural.multi_target: arity")
+    certificate;
+  let mgr = miter.Miter.mgr in
+  (* Cofactors C_j(x): the miter under target assignment y_j; C_j = 0 means
+     assignment y_j rectifies input x. *)
+  let cofs = List.map (fun y -> cofactor_targets miter y) certificate in
+  (* Selector S_j: the first j whose cofactor is 0. *)
+  let selectors =
+    let prefix_all_bad = ref Aig.true_ in
+    List.map
+      (fun c ->
+        let s = Aig.and_ mgr !prefix_all_bad (Aig.not_ c) in
+        prefix_all_bad := Aig.and_ mgr !prefix_all_bad c;
+        s)
+      cofs
+  in
+  (* Patch for target i: OR over j of S_j & y_j[i]. *)
+  List.mapi
+    (fun i (name, _) ->
+      let lit =
+        Aig.or_list mgr
+          (List.map2
+             (fun s y -> if y.(i) then s else Aig.false_)
+             selectors certificate)
+      in
+      patch_of_miter_lit miter ~target:name ~window lit)
+    remaining

@@ -1,0 +1,30 @@
+(** Structural patch computation (§3.6): used when the SAT-based pipeline
+    times out.  Patches are expressed over primary inputs, derived purely
+    from the miter circuit with no satisfiability queries.
+
+    Single target: the negative cofactor M(0, x) is itself an interpolant
+    of M(0,x) & M(1,x) and serves directly as the patch.
+
+    Multiple targets: a set of target-assignment cofactors — ideally the
+    certificate gathered by CEGAR 2QBF solving (§3.6.2) — defines a chain
+    of selectors; each target's patch picks the assignment of the first
+    cofactor that rectifies the circuit.  With a certificate of size m this
+    needs m miter copies rather than the 2^k - 1 of full enumeration. *)
+
+val single_target : Miter.t -> target:string -> window:Window.t -> Patch.t
+(** Patch = M with the (only remaining) target set to 0, over the window
+    primary inputs. *)
+
+val multi_target :
+  Miter.t -> certificate:bool array list -> window:Window.t -> Patch.t list
+(** [certificate] lists assignments of the remaining targets (in
+    {!Miter.remaining_targets} order) whose miter cofactors conjoin to
+    constant 0.  Returns one patch per remaining target, in that order. *)
+
+val full_certificate : int -> bool array list
+(** All 2^k assignments — the fallback certificate when no QBF run is
+    available, and the baseline of ablation C. *)
+
+val copies_used : certificate:bool array list -> int
+(** Number of miter cofactor copies the construction instantiates — the
+    quantity the paper reports as 40 vs 255 for 8 targets. *)

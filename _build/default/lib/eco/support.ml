@@ -1,0 +1,85 @@
+type selection = { indices : int list; cost : int; sat_calls : int }
+
+let cost_of tc indices =
+  List.fold_left (fun acc i -> acc + (Two_copy.divisor tc i).Miter.div_cost) 0 indices
+
+let index_of_selector tc l =
+  let n = Two_copy.n_divisors tc in
+  let rec go i =
+    if i >= n then None else if Sat.Lit.equal (Two_copy.selector tc i) l then Some i else go (i + 1)
+  in
+  go 0
+
+let all_selectors tc = List.init (Two_copy.n_divisors tc) (Two_copy.selector tc)
+
+let baseline ?budget tc =
+  let calls0 = Two_copy.solver_calls tc in
+  match Two_copy.solve_with ?budget tc (all_selectors tc) with
+  | Sat.Solver.Sat -> None
+  | Sat.Solver.Unknown -> raise Min_assume.Budget_exhausted
+  | Sat.Solver.Unsat ->
+    let core = Two_copy.final_conflict tc in
+    let indices = List.sort compare (List.filter_map (index_of_selector tc) core) in
+    Some { indices; cost = cost_of tc indices; sat_calls = Two_copy.solver_calls tc - calls0 }
+
+(* One pass of greedy improvement: try to replace each selected divisor
+   (most expensive first) with a strictly cheaper unselected one. *)
+let last_gasp_swap ?budget ~swap_tries tc indices =
+  let chosen = ref (List.sort_uniq compare indices) in
+  let by_cost_desc =
+    List.sort (fun a b -> compare (Two_copy.divisor tc b).Miter.div_cost (Two_copy.divisor tc a).Miter.div_cost) !chosen
+  in
+  List.iter
+    (fun i ->
+      let cost_i = (Two_copy.divisor tc i).Miter.div_cost in
+      let others = List.filter (( <> ) i) !chosen in
+      (* Candidate replacements: unselected and strictly cheaper, tried in
+         descending cost — a near-cost divisor is the most likely to be a
+         functional substitute while still improving the total. *)
+      let candidates = ref [] in
+      (let j = ref (min (i - 1) (Two_copy.n_divisors tc - 1)) in
+       while !j >= 0 && List.length !candidates < swap_tries do
+         let cost_j = (Two_copy.divisor tc !j).Miter.div_cost in
+         if cost_j < cost_i && not (List.mem !j !chosen) then candidates := !j :: !candidates;
+         decr j
+       done);
+      let candidates = List.rev !candidates in
+      let rec try_swap = function
+        | [] -> ()
+        | j :: rest ->
+          let trial = j :: others in
+          if Two_copy.unsat_with ?budget tc (List.map (Two_copy.selector tc) trial) then
+            chosen := List.sort compare trial
+          else try_swap rest
+      in
+      try_swap candidates)
+    by_cost_desc;
+  !chosen
+
+let with_min_assume ?budget ?(last_gasp = true) ?(swap_tries = 16) ?(over_core = true) tc =
+  let calls0 = Two_copy.solver_calls tc in
+  match Two_copy.solve_with ?budget tc (all_selectors tc) with
+  | Sat.Solver.Sat -> None
+  | Sat.Solver.Unknown -> raise Min_assume.Budget_exhausted
+  | Sat.Solver.Unsat ->
+    (* Minimizing inside the final-conflict core keeps every oracle call
+       small; the cost-sorted order and the last-gasp sweep below recover
+       the cost preference over the full divisor set. *)
+    let pool =
+      if over_core then
+        let core = Two_copy.final_conflict tc in
+        let indexed = List.filter_map (index_of_selector tc) core in
+        let sorted = List.sort compare indexed in
+        List.map (Two_copy.selector tc) sorted
+      else all_selectors tc
+    in
+    let minimal =
+      Min_assume.minimize
+        ~unsat:(fun lits -> Two_copy.unsat_with ?budget tc lits)
+        ~base:[] pool
+    in
+    let indices = List.sort compare (List.filter_map (index_of_selector tc) minimal) in
+    let indices =
+      if last_gasp then last_gasp_swap ?budget ~swap_tries tc indices else indices
+    in
+    Some { indices; cost = cost_of tc indices; sat_calls = Two_copy.solver_calls tc - calls0 }

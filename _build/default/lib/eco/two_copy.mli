@@ -1,0 +1,45 @@
+(** The expression-(2) SAT instance:
+
+    M(0, x1) & M(1, x2) & R(d, x1) & R(d, x2)
+
+    Two copies of the (single-target) miter over independent input sets,
+    with an auxiliary selector variable per candidate divisor: assuming a
+    selector forces the divisor's two copies equal, making it a usable
+    common variable.  Unsatisfiability under a selector subset means that
+    divisor subset suffices to express the patch. *)
+
+type t
+
+val build : Miter.t -> m_i:Aig.lit -> target:string -> t
+(** [build miter ~m_i ~target] encodes the two copies of the quantified
+    one-target miter [m_i] (whose only remaining target input is [target])
+    together with the divisor-equality selectors. *)
+
+val n_divisors : t -> int
+
+val selector : t -> int -> Sat.Lit.t
+(** Positive selector literal of divisor [i] (miter divisor order =
+    ascending cost). *)
+
+val divisor : t -> int -> Miter.divisor
+
+val solve_with : ?budget:int -> t -> Sat.Lit.t list -> Sat.Solver.result
+(** Solves under the given selector assumptions. *)
+
+val unsat_with : ?budget:int -> t -> Sat.Lit.t list -> bool
+(** [true] iff UNSAT under the assumptions.  Raises
+    {!Min_assume.Budget_exhausted} when the budget runs out. *)
+
+val final_conflict : t -> Sat.Lit.t list
+(** After an UNSAT {!solve_with}: the selector subset in the final
+    conflict — the baseline ([analyze_final]-only) support computation. *)
+
+val model_divisor_mismatch : t -> int list
+(** After a SAT {!solve_with}: indices of divisors whose two copies differ
+    in the model — at least one of them must join any sufficient support
+    (the SAT_prune refinement clause). *)
+
+val solver_calls : t -> int
+
+val conflicts : t -> int
+(** Cumulative conflicts of the underlying solver (diagnostics). *)

@@ -1,0 +1,43 @@
+type t = {
+  window_pos : string list;
+  window_pis : string list;
+  divisors : (string * int) list;
+}
+
+let compute (inst : Instance.t) =
+  let impl = inst.Instance.impl and spec = inst.Instance.spec in
+  let tfo = Netlist.tfo impl inst.Instance.targets in
+  let window_pos = List.filter (Hashtbl.mem tfo) (Netlist.outputs impl) in
+  if window_pos = [] then failwith "Window.compute: targets reach no output";
+  (* PIs feeding the affected outputs, on either side of the miter. *)
+  let impl_pis = Netlist.support_of impl window_pos in
+  let spec_pis = Netlist.support_of spec window_pos in
+  let window_pis = List.sort_uniq compare (impl_pis @ spec_pis) in
+  let pi_set = Hashtbl.create 64 in
+  List.iter (fun p -> Hashtbl.replace pi_set p ()) window_pis;
+  (* Candidate divisors: not in the targets' TFO (no combinational loop
+     through the patch), not a constant, support within the window. *)
+  let divisors =
+    List.filter_map
+      (fun name ->
+        let n = Netlist.node impl name in
+        match n.Netlist.gate with
+        | Netlist.Const0 | Netlist.Const1 -> None
+        | _ ->
+          if Hashtbl.mem tfo name then None
+          else begin
+            let sup = Netlist.support_of impl [ name ] in
+            if List.for_all (Hashtbl.mem pi_set) sup then
+              Some (name, Netlist.Weights.cost inst.Instance.weights name)
+            else None
+          end)
+      (Netlist.topological_order impl)
+  in
+  let divisors =
+    List.stable_sort (fun (_, c1) (_, c2) -> compare c1 c2) divisors
+  in
+  { window_pos; window_pis; divisors }
+
+let pp ppf w =
+  Format.fprintf ppf "window: pos=%d pis=%d divisors=%d" (List.length w.window_pos)
+    (List.length w.window_pis) (List.length w.divisors)

@@ -1,0 +1,17 @@
+(** Structural pruning (§3.3): computes the logic window for the ECO
+    problem — the outputs reachable from the targets, the inputs feeding
+    them, and the candidate divisors for expressing the patch. *)
+
+type t = {
+  window_pos : string list;  (** POs in the TFO of the targets (PO order) *)
+  window_pis : string list;
+      (** PIs reachable from the window POs in either netlist *)
+  divisors : (string * int) list;
+      (** candidate divisor name and cost, sorted by ascending cost;
+          implementation nodes outside the targets' TFO whose support lies
+          within the window PIs *)
+}
+
+val compute : Instance.t -> t
+
+val pp : Format.formatter -> t -> unit

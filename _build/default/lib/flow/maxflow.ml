@@ -1,0 +1,183 @@
+let infinite = max_int / 4
+
+(* Forward-star representation built on demand: edge 2k is the k-th added
+   edge, 2k+1 its residual reverse. *)
+type built = {
+  bn : int;
+  head : int array;
+  next : int array;
+  to_ : int array;
+  cap : int array;
+}
+
+type t = {
+  size : int;
+  mutable edge_list : (int * int * int) list; (* reversed insertion order *)
+  mutable built : built option;
+}
+
+let create n =
+  if n <= 0 then invalid_arg "Maxflow.create";
+  { size = n; edge_list = []; built = None }
+
+let add_edge g u v c =
+  if u < 0 || u >= g.size || v < 0 || v >= g.size then invalid_arg "Maxflow.add_edge";
+  if c < 0 then invalid_arg "Maxflow.add_edge: negative capacity";
+  if g.built <> None then invalid_arg "Maxflow.add_edge: graph already solved";
+  g.edge_list <- (u, v, c) :: g.edge_list
+
+let build g =
+  let m = 2 * List.length g.edge_list in
+  let head = Array.make g.size (-1) in
+  let next = Array.make (max m 1) (-1) in
+  let to_ = Array.make (max m 1) 0 in
+  let cap = Array.make (max m 1) 0 in
+  let i = ref 0 in
+  List.iter
+    (fun (u, v, c) ->
+      to_.(!i) <- v;
+      cap.(!i) <- c;
+      next.(!i) <- head.(u);
+      head.(u) <- !i;
+      incr i;
+      to_.(!i) <- u;
+      cap.(!i) <- 0;
+      next.(!i) <- head.(v);
+      head.(v) <- !i;
+      incr i)
+    (List.rev g.edge_list);
+  { bn = g.size; head; next; to_; cap }
+
+let bfs b source sink =
+  let level = Array.make b.bn (-1) in
+  let q = Queue.create () in
+  level.(source) <- 0;
+  Queue.push source q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    let e = ref b.head.(u) in
+    while !e >= 0 do
+      if b.cap.(!e) > 0 && level.(b.to_.(!e)) < 0 then begin
+        level.(b.to_.(!e)) <- level.(u) + 1;
+        Queue.push b.to_.(!e) q
+      end;
+      e := b.next.(!e)
+    done
+  done;
+  if level.(sink) < 0 then None else Some level
+
+let rec dfs b level it u sink f =
+  if u = sink then f
+  else begin
+    let res = ref 0 in
+    while !res = 0 && it.(u) >= 0 do
+      let e = it.(u) in
+      let v = b.to_.(e) in
+      if b.cap.(e) > 0 && level.(v) = level.(u) + 1 then begin
+        let d = dfs b level it v sink (min f b.cap.(e)) in
+        if d > 0 then begin
+          b.cap.(e) <- b.cap.(e) - d;
+          b.cap.(e lxor 1) <- b.cap.(e lxor 1) + d;
+          res := d
+        end
+        else it.(u) <- b.next.(e)
+      end
+      else it.(u) <- b.next.(e)
+    done;
+    !res
+  end
+
+let max_flow g ~source ~sink =
+  if source = sink then invalid_arg "Maxflow.max_flow: source = sink";
+  let b = build g in
+  g.built <- Some b;
+  let flow = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match bfs b source sink with
+    | None -> continue := false
+    | Some level ->
+      let it = Array.copy b.head in
+      let d = ref (dfs b level it source sink infinite) in
+      while !d > 0 do
+        flow := !flow + !d;
+        d := dfs b level it source sink infinite
+      done
+  done;
+  !flow
+
+let min_cut g ~source =
+  let b =
+    match g.built with
+    | Some b -> b
+    | None -> invalid_arg "Maxflow.min_cut: call max_flow first"
+  in
+  let reach = Array.make b.bn false in
+  let q = Queue.create () in
+  reach.(source) <- true;
+  Queue.push source q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    let e = ref b.head.(u) in
+    while !e >= 0 do
+      if b.cap.(!e) > 0 && not reach.(b.to_.(!e)) then begin
+        reach.(b.to_.(!e)) <- true;
+        Queue.push b.to_.(!e) q
+      end;
+      e := b.next.(!e)
+    done
+  done;
+  let side = ref [] in
+  for u = b.bn - 1 downto 0 do
+    if reach.(u) then side := u :: !side
+  done;
+  let cut = ref [] in
+  List.iteri
+    (fun k (u, v, _) ->
+      let e = 2 * k in
+      if reach.(u) && (not reach.(v)) && b.cap.(e) = 0 then cut := (u, v) :: !cut)
+    (List.rev g.edge_list);
+  (!side, List.rev !cut)
+
+let create_flow = create
+
+module Node_cut = struct
+  type graph = {
+    n : int;
+    caps : int array;
+    mutable arcs : (int * int) list;
+  }
+
+  let create n =
+    if n <= 0 then invalid_arg "Node_cut.create";
+    { n; caps = Array.make n infinite; arcs = [] }
+
+  let set_node_capacity g v c =
+    if v < 0 || v >= g.n then invalid_arg "Node_cut.set_node_capacity";
+    g.caps.(v) <- c
+
+  let add_arc g u v =
+    if u < 0 || u >= g.n || v < 0 || v >= g.n then invalid_arg "Node_cut.add_arc";
+    g.arcs <- (u, v) :: g.arcs
+
+  (* Node v splits into in-node (2v+2) and out-node (2v+3); 0 is the
+     super-source and 1 the super-sink; the splitting edge in->out carries
+     the node capacity, so cutting it "selects" the node. *)
+  let solve g ~sources ~sinks =
+    let fg = create_flow ((2 * g.n) + 2) in
+    let in_node v = (2 * v) + 2 and out_node v = (2 * v) + 3 in
+    for v = 0 to g.n - 1 do
+      add_edge fg (in_node v) (out_node v) g.caps.(v)
+    done;
+    List.iter (fun (u, v) -> add_edge fg (out_node u) (in_node v) infinite) g.arcs;
+    List.iter (fun s -> add_edge fg 0 (in_node s) infinite) sources;
+    List.iter (fun s -> add_edge fg (out_node s) 1 infinite) sinks;
+    let value = max_flow fg ~source:0 ~sink:1 in
+    let _, cut_edges = min_cut fg ~source:0 in
+    let chosen =
+      List.filter_map
+        (fun (u, v) -> if v = u + 1 && u >= 2 && u mod 2 = 0 then Some ((u - 2) / 2) else None)
+        cut_edges
+    in
+    (value, List.sort_uniq compare chosen)
+end

@@ -1,0 +1,42 @@
+(** Dinic's maximum-flow / minimum-cut on integer capacities.
+
+    Used by the paper's [CEGAR_min] step (§3.6.3): finding a minimum-weight
+    cut of equivalent-signal candidates through the structural patch. *)
+
+type t
+
+val create : int -> t
+(** [create n] makes an empty graph over nodes [0 .. n-1]. *)
+
+val add_edge : t -> int -> int -> int -> unit
+(** [add_edge g u v cap] adds a directed edge with the given capacity
+    (its residual reverse edge carries 0).  [cap] may be {!infinite}. *)
+
+val infinite : int
+(** A capacity treated as unbounded (large enough never to saturate). *)
+
+val max_flow : t -> source:int -> sink:int -> int
+(** Computes the maximum flow.  May be called once per graph. *)
+
+val min_cut : t -> source:int -> int list * (int * int) list
+(** After {!max_flow}: returns the source-side node set and the saturated
+    cut edges [(u, v)] crossing it. *)
+
+(** {2 Node-capacitated helper} *)
+
+module Node_cut : sig
+  type graph
+
+  val create : int -> graph
+  (** [create n] prepares a node-splitting network for [n] original nodes. *)
+
+  val set_node_capacity : graph -> int -> int -> unit
+  (** Capacity of passing through a node (default {!infinite}). *)
+
+  val add_arc : graph -> int -> int -> unit
+  (** Unbounded directed arc between original nodes. *)
+
+  val solve : graph -> sources:int list -> sinks:int list -> int * int list
+  (** Returns the min-cut value and the original nodes whose splitting edge
+      is in the cut (the chosen separators). *)
+end

@@ -1,0 +1,1 @@
+lib/gen/builder.ml: Array List Netlist Printf

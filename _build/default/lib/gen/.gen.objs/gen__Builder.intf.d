@@ -1,0 +1,1 @@
+lib/gen/builder.mli: Netlist

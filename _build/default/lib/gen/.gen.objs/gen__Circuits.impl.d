@@ -1,0 +1,1 @@
+lib/gen/circuits.ml: Array Builder Float List Netlist Printf Random

@@ -1,0 +1,1 @@
+lib/gen/circuits.mli: Netlist

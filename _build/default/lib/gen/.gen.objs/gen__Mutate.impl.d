@@ -1,0 +1,1 @@
+lib/gen/mutate.ml: Array Eco Hashtbl List Netlist Printf Random String

@@ -1,0 +1,1 @@
+lib/gen/mutate.mli: Eco Netlist Random

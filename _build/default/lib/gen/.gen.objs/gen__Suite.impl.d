@@ -1,0 +1,1 @@
+lib/gen/suite.ml: Circuits List Mutate Netlist Printf

@@ -1,0 +1,1 @@
+lib/gen/suite.mli: Eco Mutate Netlist

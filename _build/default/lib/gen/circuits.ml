@@ -1,0 +1,261 @@
+let full_adder b a x cin =
+  let axb = Builder.xor2 b a x in
+  let sum = Builder.xor2 b axb cin in
+  let c1 = Builder.and2 b a x in
+  let c2 = Builder.and2 b axb cin in
+  let cout = Builder.or2 b c1 c2 in
+  (sum, cout)
+
+let ripple_adder n =
+  if n <= 0 then invalid_arg "Circuits.ripple_adder";
+  let b = Builder.create () in
+  let a = List.init n (fun i -> Builder.input b (Printf.sprintf "a%d" i)) in
+  let x = List.init n (fun i -> Builder.input b (Printf.sprintf "b%d" i)) in
+  let cin = Builder.input b "cin" in
+  let sums, cout =
+    List.fold_left2
+      (fun (sums, carry) ai xi ->
+        let s, c = full_adder b ai xi carry in
+        (s :: sums, c))
+      ([], cin) a x
+  in
+  let sums = List.rev sums in
+  let sum_outs = List.mapi (fun i s -> Builder.gate b ~name:(Printf.sprintf "s%d" i) Netlist.Buf [ s ]) sums in
+  let cout = Builder.gate b ~name:"cout" Netlist.Buf [ cout ] in
+  Builder.finish b ~outputs:(sum_outs @ [ cout ])
+
+(* Functionally identical to ripple_adder, structured as a two-block
+   carry-select: the upper half is computed for both carry values and
+   selected. *)
+let carry_select_adder n =
+  if n <= 1 then ripple_adder n
+  else begin
+    let b = Builder.create () in
+    let a = Array.init n (fun i -> Builder.input b (Printf.sprintf "a%d" i)) in
+    let x = Array.init n (fun i -> Builder.input b (Printf.sprintf "b%d" i)) in
+    let cin = Builder.input b "cin" in
+    let half = n / 2 in
+    (* Lower block: plain ripple. *)
+    let carry = ref cin in
+    let low_sums =
+      List.init half (fun i ->
+          let s, c = full_adder b a.(i) x.(i) !carry in
+          carry := c;
+          s)
+    in
+    (* Upper block twice, with constant carries 0 and 1. *)
+    let upper fixed_carry =
+      let c = ref fixed_carry in
+      let sums =
+        List.init (n - half) (fun j ->
+            let i = half + j in
+            let s, c' = full_adder b a.(i) x.(i) !c in
+            c := c';
+            s)
+      in
+      (sums, !c)
+    in
+    let sums0, cout0 = upper (Builder.const0 b) in
+    let sums1, cout1 = upper (Builder.const1 b) in
+    let sel = !carry in
+    let high_sums = List.map2 (fun s1 s0 -> Builder.mux b ~sel s1 s0) sums1 sums0 in
+    let cout = Builder.mux b ~sel cout1 cout0 in
+    let sums = low_sums @ high_sums in
+    let sum_outs =
+      List.mapi (fun i s -> Builder.gate b ~name:(Printf.sprintf "s%d" i) Netlist.Buf [ s ]) sums
+    in
+    let cout = Builder.gate b ~name:"cout" Netlist.Buf [ cout ] in
+    Builder.finish b ~outputs:(sum_outs @ [ cout ])
+  end
+
+let multiplier n =
+  if n <= 0 then invalid_arg "Circuits.multiplier";
+  let b = Builder.create () in
+  let a = Array.init n (fun i -> Builder.input b (Printf.sprintf "a%d" i)) in
+  let x = Array.init n (fun i -> Builder.input b (Printf.sprintf "b%d" i)) in
+  (* Partial products, then ripple rows. *)
+  let pp i j = Builder.and2 b a.(i) x.(j) in
+  let zero = Builder.const0 b in
+  (* row accumulates partial sums; row.(k) is the k-th bit of the running sum *)
+  let row = ref (Array.init (2 * n) (fun _ -> zero)) in
+  for j = 0 to n - 1 do
+    let carry = ref zero in
+    let next = Array.copy !row in
+    for i = 0 to n - 1 do
+      let k = i + j in
+      let s, c = full_adder b !row.(k) (pp i j) !carry in
+      next.(k) <- s;
+      carry := c
+    done;
+    if j + n < 2 * n then begin
+      let s, _c = full_adder b !row.(j + n) !carry zero in
+      next.(j + n) <- s
+    end;
+    row := next
+  done;
+  let outs =
+    List.init (2 * n) (fun k -> Builder.gate b ~name:(Printf.sprintf "p%d" k) Netlist.Buf [ !row.(k) ])
+  in
+  Builder.finish b ~outputs:outs
+
+let comparator n =
+  if n <= 0 then invalid_arg "Circuits.comparator";
+  let b = Builder.create () in
+  let a = Array.init n (fun i -> Builder.input b (Printf.sprintf "a%d" i)) in
+  let x = Array.init n (fun i -> Builder.input b (Printf.sprintf "b%d" i)) in
+  (* MSB-first chained comparison. *)
+  let eq = ref (Builder.const1 b) in
+  let lt = ref (Builder.const0 b) in
+  let gt = ref (Builder.const0 b) in
+  for i = n - 1 downto 0 do
+    let bit_eq = Builder.xnor2 b a.(i) x.(i) in
+    let a_not = Builder.not1 b a.(i) in
+    let b_not = Builder.not1 b x.(i) in
+    let bit_lt = Builder.and2 b a_not x.(i) in
+    let bit_gt = Builder.and2 b a.(i) b_not in
+    lt := Builder.or2 b !lt (Builder.and2 b !eq bit_lt);
+    gt := Builder.or2 b !gt (Builder.and2 b !eq bit_gt);
+    eq := Builder.and2 b !eq bit_eq
+  done;
+  let lt = Builder.gate b ~name:"lt" Netlist.Buf [ !lt ] in
+  let eq = Builder.gate b ~name:"eq" Netlist.Buf [ !eq ] in
+  let gt = Builder.gate b ~name:"gt" Netlist.Buf [ !gt ] in
+  Builder.finish b ~outputs:[ lt; eq; gt ]
+
+let alu n =
+  if n <= 0 then invalid_arg "Circuits.alu";
+  let b = Builder.create () in
+  let a = Array.init n (fun i -> Builder.input b (Printf.sprintf "a%d" i)) in
+  let x = Array.init n (fun i -> Builder.input b (Printf.sprintf "b%d" i)) in
+  let s0 = Builder.input b "op0" in
+  let s1 = Builder.input b "op1" in
+  let carry = ref (Builder.const0 b) in
+  let outs =
+    List.init n (fun i ->
+        let sum, c = full_adder b a.(i) x.(i) !carry in
+        carry := c;
+        let land_ = Builder.and2 b a.(i) x.(i) in
+        let lor_ = Builder.or2 b a.(i) x.(i) in
+        let l_xor = Builder.xor2 b a.(i) x.(i) in
+        (* op: 00 add, 01 and, 10 or, 11 xor *)
+        let sel_low = Builder.mux b ~sel:s0 land_ sum in
+        let sel_high = Builder.mux b ~sel:s0 l_xor lor_ in
+        let f = Builder.mux b ~sel:s1 sel_high sel_low in
+        Builder.gate b ~name:(Printf.sprintf "f%d" i) Netlist.Buf [ f ])
+  in
+  let cout = Builder.gate b ~name:"cout" Netlist.Buf [ !carry ] in
+  Builder.finish b ~outputs:(outs @ [ cout ])
+
+let parity_tree n =
+  if n <= 0 then invalid_arg "Circuits.parity_tree";
+  let b = Builder.create () in
+  let ins = List.init n (fun i -> Builder.input b (Printf.sprintf "x%d" i)) in
+  let rec reduce = function
+    | [] -> Builder.const0 b
+    | [ x ] -> x
+    | xs ->
+      let rec pair = function
+        | p :: q :: rest -> Builder.xor2 b p q :: pair rest
+        | leftover -> leftover
+      in
+      reduce (pair xs)
+  in
+  let par = Builder.gate b ~name:"par" Netlist.Buf [ reduce ins ] in
+  Builder.finish b ~outputs:[ par ]
+
+let mux_tree d =
+  if d <= 0 || d > 10 then invalid_arg "Circuits.mux_tree";
+  let b = Builder.create () in
+  let sels = Array.init d (fun i -> Builder.input b (Printf.sprintf "s%d" i)) in
+  let data = Array.init (1 lsl d) (fun i -> Builder.input b (Printf.sprintf "d%d" i)) in
+  let rec level lo len depth =
+    if len = 1 then data.(lo)
+    else begin
+      let half = len / 2 in
+      let low = level lo half (depth + 1) in
+      let high = level (lo + half) half (depth + 1) in
+      Builder.mux b ~sel:sels.(d - 1 - depth) high low
+    end
+  in
+  let y = Builder.gate b ~name:"y" Netlist.Buf [ level 0 (1 lsl d) 0 ] in
+  Builder.finish b ~outputs:[ y ]
+
+let decoder n =
+  if n <= 0 || n > 10 then invalid_arg "Circuits.decoder";
+  let b = Builder.create () in
+  let ins = Array.init n (fun i -> Builder.input b (Printf.sprintf "x%d" i)) in
+  let negs = Array.map (fun x -> Builder.not1 b x) ins in
+  let outs =
+    List.init (1 lsl n) (fun code ->
+        let lits =
+          List.init n (fun i -> if (code lsr i) land 1 = 1 then ins.(i) else negs.(i))
+        in
+        let y = Builder.gate b Netlist.And lits in
+        Builder.gate b ~name:(Printf.sprintf "y%d" code) Netlist.Buf [ y ])
+  in
+  Builder.finish b ~outputs:outs
+
+let majority n =
+  if n <= 0 || n mod 2 = 0 then invalid_arg "Circuits.majority: need odd n";
+  let b = Builder.create () in
+  let ins = List.init n (fun i -> Builder.input b (Printf.sprintf "x%d" i)) in
+  (* Count ones with a chain of small adders (unary-to-binary counter). *)
+  let width = 1 + int_of_float (Float.log2 (float_of_int n)) in
+  let zero = Builder.const0 b in
+  let count = Array.make width zero in
+  List.iter
+    (fun x ->
+      (* count += x, ripple increment gated by x *)
+      let carry = ref x in
+      for i = 0 to width - 1 do
+        let s = Builder.xor2 b count.(i) !carry in
+        carry := Builder.and2 b count.(i) !carry;
+        count.(i) <- s
+      done)
+    ins;
+  (* majority: count > n/2, i.e. count >= (n+1)/2 *)
+  let threshold = (n + 1) / 2 in
+  (* Comparison count >= threshold, LSB to MSB:
+     ge_i = C_i & ge  (threshold bit 1)  |  C_i | ge  (threshold bit 0). *)
+  let ge = ref (Builder.const1 b) in
+  for i = 0 to width - 1 do
+    let t_bit = (threshold lsr i) land 1 = 1 in
+    if t_bit then ge := Builder.and2 b count.(i) !ge
+    else ge := Builder.or2 b count.(i) !ge
+  done;
+  let maj = Builder.gate b ~name:"maj" Netlist.Buf [ !ge ] in
+  Builder.finish b ~outputs:[ maj ]
+
+let random_dag ?(seed = 42) ~inputs ~gates ~outputs () =
+  if inputs <= 0 || gates <= 0 || outputs <= 0 then invalid_arg "Circuits.random_dag";
+  let rand = Random.State.make [| seed |] in
+  let b = Builder.create () in
+  let pool = ref (Array.of_list (List.init inputs (fun i -> Builder.input b (Printf.sprintf "x%d" i)))) in
+  let pick () =
+    let n = Array.length !pool in
+    (* Locality bias: prefer recent signals. *)
+    let r = Random.State.float rand 1.0 in
+    let idx =
+      if r < 0.6 then n - 1 - Random.State.int rand (min n (1 + (n / 4)))
+      else Random.State.int rand n
+    in
+    !pool.(max 0 (min (n - 1) idx))
+  in
+  let gate_kinds = [| Netlist.And; Netlist.Or; Netlist.Nand; Netlist.Nor; Netlist.Xor; Netlist.Xnor |] in
+  for _ = 1 to gates do
+    let k = gate_kinds.(Random.State.int rand (Array.length gate_kinds)) in
+    let arity = if Random.State.int rand 5 = 0 then 3 else 2 in
+    let fanins = List.init arity (fun _ -> pick ()) in
+    let name =
+      if Random.State.int rand 8 = 0 then Builder.not1 b (pick ())
+      else Builder.gate b k fanins
+    in
+    pool := Array.append !pool [| name |]
+  done;
+  let n = Array.length !pool in
+  let outs =
+    List.init outputs (fun i ->
+        let src = !pool.(n - 1 - (i * 7 mod max 1 (n / 2))) in
+        Builder.gate b ~name:(Printf.sprintf "o%d" i) Netlist.Buf [ src ])
+  in
+  Builder.finish b ~outputs:outs

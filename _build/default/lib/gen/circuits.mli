@@ -1,0 +1,36 @@
+(** Synthetic circuit families standing in for the contest's
+    ISCAS/ITC/IWLS-derived benchmarks: arithmetic, control and random
+    logic of controllable size. *)
+
+val ripple_adder : int -> Netlist.t
+(** [ripple_adder n]: inputs [a0..], [b0..], [cin]; outputs [s0.. , cout]. *)
+
+val carry_select_adder : int -> Netlist.t
+(** Same function as {!ripple_adder} (including [cin]) with a different
+    structure — handy for equivalence tests. *)
+
+val multiplier : int -> Netlist.t
+(** [multiplier n]: n x n array multiplier, outputs [p0 .. p2n-1]. *)
+
+val comparator : int -> Netlist.t
+(** [comparator n]: outputs [lt], [eq], [gt] of two n-bit operands. *)
+
+val alu : int -> Netlist.t
+(** [alu n]: two n-bit operands, 2 select bits; op in
+    {add, and, or, xor}; outputs [f0..fn-1] plus carry. *)
+
+val parity_tree : int -> Netlist.t
+(** XOR tree over n inputs, output [par]. *)
+
+val mux_tree : int -> Netlist.t
+(** [mux_tree d]: complete 2^d-to-1 multiplexer with d select bits. *)
+
+val decoder : int -> Netlist.t
+(** [decoder n]: n-to-2^n one-hot decoder. *)
+
+val majority : int -> Netlist.t
+(** [majority n] (n odd): majority vote of n inputs via adder counting. *)
+
+val random_dag : ?seed:int -> inputs:int -> gates:int -> outputs:int -> unit -> Netlist.t
+(** Random k-bounded logic network: each gate draws a random primitive over
+    signals sampled with locality bias. *)

@@ -1,0 +1,94 @@
+type family =
+  | Adder of int
+  | Carry_select of int
+  | Multiplier of int
+  | Alu of int
+  | Comparator of int
+  | Parity of int
+  | Mux_tree of int
+  | Decoder of int
+  | Majority of int
+  | Random of { pis : int; gates : int; pos : int }
+
+type unit_spec = {
+  id : int;
+  u_name : string;
+  family : family;
+  seed : int;
+  n_targets : int;
+  dist : Netlist.Weights.distribution;
+  style : Mutate.spec_style;
+  structural : bool;
+}
+
+let u id family ~targets ~dist ~style ?(structural = false) () =
+  {
+    id;
+    u_name = Printf.sprintf "unit%d" id;
+    family;
+    seed = 0xC0FFEE + (id * 7919);
+    n_targets = targets;
+    dist;
+    style;
+    structural;
+  }
+
+(* The roster tracks Table 1's spread: tiny toys, mid-size arithmetic,
+   random control logic, and a few large units earmarked for the
+   structural path.  Target counts follow the paper's 1/1/1/1/2/2/1/1/4/2/
+   8/1/1/12/1/2/8/1/4/4 pattern. *)
+let all =
+  [
+    u 1 (Random { pis = 3; gates = 6; pos = 2 }) ~targets:1 ~dist:Netlist.Weights.T1
+      ~style:Mutate.Gate_change ();
+    u 2 (Adder 24) ~targets:1 ~dist:Netlist.Weights.T2 ~style:(Mutate.New_cone 5) ();
+    u 3 (Comparator 48) ~targets:1 ~dist:Netlist.Weights.T3 ~style:Mutate.Rewire ();
+    u 4 (Random { pis = 11; gates = 70; pos = 6 }) ~targets:1 ~dist:Netlist.Weights.T4
+      ~style:(Mutate.New_cone 4) ();
+    u 5 (Multiplier 10) ~targets:2 ~dist:Netlist.Weights.T5 ~style:(Mutate.New_cone 8) ();
+    u 6 (Multiplier 9) ~targets:2 ~dist:Netlist.Weights.T1 ~style:(Mutate.New_cone 10)
+      ~structural:true ();
+    u 7 (Alu 24) ~targets:1 ~dist:Netlist.Weights.T7 ~style:(Mutate.New_cone 6) ();
+    u 8 (Carry_select 28) ~targets:1 ~dist:Netlist.Weights.T8 ~style:(Mutate.New_cone 5) ();
+    u 9 (Random { pis = 40; gates = 600; pos = 30 }) ~targets:4 ~dist:Netlist.Weights.T1
+      ~style:Mutate.Rewire ();
+    u 10 (Mux_tree 5) ~targets:2 ~dist:Netlist.Weights.T2 ~style:(Mutate.New_cone 8)
+      ~structural:true ();
+    u 11 (Decoder 6) ~targets:8 ~dist:Netlist.Weights.T3 ~style:Mutate.Gate_change
+      ~structural:true ();
+    u 12 (Parity 46) ~targets:1 ~dist:Netlist.Weights.T4 ~style:Mutate.Gate_change ();
+    u 13 (Random { pis = 25; gates = 260; pos = 12 }) ~targets:1 ~dist:Netlist.Weights.T5
+      ~style:(Mutate.New_cone 7) ();
+    u 14 (Random { pis = 17; gates = 420; pos = 15 }) ~targets:12 ~dist:Netlist.Weights.T6
+      ~style:Mutate.Rewire ();
+    u 15 (Majority 31) ~targets:1 ~dist:Netlist.Weights.T7 ~style:(Mutate.New_cone 5) ();
+    u 16 (Alu 32) ~targets:2 ~dist:Netlist.Weights.T8 ~style:(Mutate.New_cone 6) ();
+    u 17 (Random { pis = 36; gates = 700; pos = 20 }) ~targets:8 ~dist:Netlist.Weights.T1
+      ~style:Mutate.Rewire ();
+    u 18 (Carry_select 36) ~targets:1 ~dist:Netlist.Weights.T2 ~style:(Mutate.New_cone 4) ();
+    u 19 (Multiplier 8) ~targets:4 ~dist:Netlist.Weights.T5 ~style:(Mutate.New_cone 12)
+      ~structural:true ();
+    u 20 (Random { pis = 120; gates = 2400; pos = 150 }) ~targets:4 ~dist:Netlist.Weights.T4
+      ~style:(Mutate.New_cone 5) ();
+  ]
+
+let find name = List.find (fun s -> s.u_name = name) all
+
+let base_circuit spec =
+  match spec.family with
+  | Adder n -> Circuits.ripple_adder n
+  | Carry_select n -> Circuits.carry_select_adder n
+  | Multiplier n -> Circuits.multiplier n
+  | Alu n -> Circuits.alu n
+  | Comparator n -> Circuits.comparator n
+  | Parity n -> Circuits.parity_tree n
+  | Mux_tree d -> Circuits.mux_tree d
+  | Decoder n -> Circuits.decoder n
+  | Majority n -> Circuits.majority n
+  | Random { pis; gates; pos } ->
+    Circuits.random_dag ~seed:spec.seed ~inputs:pis ~gates ~outputs:pos ()
+
+let instantiate spec =
+  let impl = base_circuit spec in
+  Mutate.make_instance ~name:spec.u_name ~style:spec.style ~dist:spec.dist ~seed:spec.seed
+    ~n_targets:spec.n_targets impl

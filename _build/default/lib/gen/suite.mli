@@ -1,0 +1,39 @@
+(** The 20-unit benchmark suite mirroring the shape of the 2017 ICCAD
+    Contest Problem A set used in Table 1: the same spread of sizes, target
+    counts (1–12) and weight-distribution types, scaled to laptop-size
+    circuits.  Units flagged [structural] play the role of the paper's
+    unit6/10/11/19 — the ones solved through the structural path. *)
+
+type family =
+  | Adder of int
+  | Carry_select of int
+  | Multiplier of int
+  | Alu of int
+  | Comparator of int
+  | Parity of int
+  | Mux_tree of int
+  | Decoder of int
+  | Majority of int
+  | Random of { pis : int; gates : int; pos : int }
+
+type unit_spec = {
+  id : int;
+  u_name : string;
+  family : family;
+  seed : int;
+  n_targets : int;
+  dist : Netlist.Weights.distribution;
+  style : Mutate.spec_style;
+  structural : bool;
+}
+
+val all : unit_spec list
+(** unit1 .. unit20. *)
+
+val find : string -> unit_spec
+(** Lookup by name ("unit7").  Raises [Not_found]. *)
+
+val base_circuit : unit_spec -> Netlist.t
+
+val instantiate : unit_spec -> Eco.Instance.t
+(** Deterministic: same spec gives the same instance. *)

@@ -1,0 +1,1 @@
+lib/netlist/netlist.ml: Base Convert Verilog Weights

@@ -1,0 +1,1 @@
+lib/netlist/netlist.mli: Aig Format Hashtbl Random

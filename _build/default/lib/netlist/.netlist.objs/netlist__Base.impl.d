@@ -1,0 +1,1 @@
+lib/netlist/base.ml: Array Format Fun Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/netlist/convert.ml: Aig Array Base Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/netlist/verilog.ml: Array Base Buffer List Printf String

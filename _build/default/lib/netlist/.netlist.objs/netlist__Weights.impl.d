@@ -1,0 +1,1 @@
+lib/netlist/weights.ml: Array Base Hashtbl List Printf Random String

@@ -1,0 +1,246 @@
+(* Netlist data type and graph analyses.  Re-exported through the library
+   root module [Netlist]. *)
+
+type gate =
+  | Input
+  | Const0
+  | Const1
+  | Buf
+  | Not
+  | And
+  | Or
+  | Nand
+  | Nor
+  | Xor
+  | Xnor
+  | Mux
+
+type node = { name : string; gate : gate; fanins : string array }
+
+type t = {
+  by_name : (string, node) Hashtbl.t;
+  order : string list; (* topological, inputs first *)
+  ins : string list;
+  outs : string list;
+}
+
+let gate_arity = function
+  | Input | Const0 | Const1 -> Some 0
+  | Buf | Not -> Some 1
+  | Mux -> Some 3
+  | And | Or | Nand | Nor | Xor | Xnor -> None
+
+let gate_name = function
+  | Input -> "input"
+  | Const0 -> "const0"
+  | Const1 -> "const1"
+  | Buf -> "buf"
+  | Not -> "not"
+  | And -> "and"
+  | Or -> "or"
+  | Nand -> "nand"
+  | Nor -> "nor"
+  | Xor -> "xor"
+  | Xnor -> "xnor"
+  | Mux -> "mux"
+
+let check_node n =
+  match gate_arity n.gate with
+  | Some k ->
+    if Array.length n.fanins <> k then
+      failwith (Printf.sprintf "Netlist: gate %s of %s expects %d fanins" (gate_name n.gate) n.name k)
+  | None ->
+    if Array.length n.fanins < 2 then
+      failwith (Printf.sprintf "Netlist: gate %s of %s expects >= 2 fanins" (gate_name n.gate) n.name)
+
+let create nodes ~outputs =
+  let by_name = Hashtbl.create (List.length nodes) in
+  List.iter
+    (fun n ->
+      check_node n;
+      if Hashtbl.mem by_name n.name then failwith (Printf.sprintf "Netlist: duplicate node %s" n.name);
+      Hashtbl.add by_name n.name n)
+    nodes;
+  List.iter
+    (fun n ->
+      Array.iter
+        (fun f ->
+          if not (Hashtbl.mem by_name f) then
+            failwith (Printf.sprintf "Netlist: dangling fanin %s of %s" f n.name))
+        n.fanins)
+    nodes;
+  List.iter
+    (fun o ->
+      if not (Hashtbl.mem by_name o) then failwith (Printf.sprintf "Netlist: unknown output %s" o))
+    outputs;
+  (* Topological sort with cycle detection (iterative DFS). *)
+  let visited = Hashtbl.create (List.length nodes) in
+  (* 0 = in progress, 1 = done *)
+  let order = ref [] in
+  let visit start =
+    if not (Hashtbl.mem visited start) then begin
+      let stack = ref [ (start, false) ] in
+      while !stack <> [] do
+        match !stack with
+        | [] -> ()
+        | (name, expanded) :: rest ->
+          stack := rest;
+          if expanded then begin
+            Hashtbl.replace visited name 1;
+            order := name :: !order
+          end
+          else begin
+            match Hashtbl.find_opt visited name with
+            | Some 1 -> ()
+            | Some _ -> failwith (Printf.sprintf "Netlist: cycle through %s" name)
+            | None ->
+              Hashtbl.replace visited name 0;
+              stack := (name, true) :: !stack;
+              let n = Hashtbl.find by_name name in
+              Array.iter
+                (fun f ->
+                  match Hashtbl.find_opt visited f with
+                  | Some 1 -> ()
+                  | Some _ -> failwith (Printf.sprintf "Netlist: cycle through %s" f)
+                  | None -> stack := (f, false) :: !stack)
+                n.fanins
+          end
+      done
+    end
+  in
+  List.iter (fun n -> visit n.name) nodes;
+  let order = List.rev !order in
+  let ins = List.filter_map (fun name -> if (Hashtbl.find by_name name).gate = Input then Some name else None) order in
+  { by_name; order; ins; outs = outputs }
+
+let inputs t = t.ins
+let outputs t = t.outs
+let node t name =
+  match Hashtbl.find_opt t.by_name name with
+  | Some n -> n
+  | None -> failwith (Printf.sprintf "Netlist: unknown node %s" name)
+
+let mem t name = Hashtbl.mem t.by_name name
+let topological_order t = t.order
+let nodes t = List.map (node t) t.order
+let num_nodes t = List.length t.order
+
+let num_gates t =
+  List.fold_left
+    (fun acc name ->
+      match (node t name).gate with Input | Const0 | Const1 -> acc | _ -> acc + 1)
+    0 t.order
+
+let fanout_map t =
+  let m = Hashtbl.create (num_nodes t) in
+  List.iter (fun name -> Hashtbl.replace m name []) t.order;
+  List.iter
+    (fun name ->
+      let n = node t name in
+      Array.iter (fun f -> Hashtbl.replace m f (name :: Hashtbl.find m f)) n.fanins)
+    t.order;
+  m
+
+let tfo t seeds =
+  let fout = fanout_map t in
+  let mark = Hashtbl.create 64 in
+  let rec go name =
+    if not (Hashtbl.mem mark name) then begin
+      Hashtbl.replace mark name ();
+      List.iter go (Hashtbl.find fout name)
+    end
+  in
+  List.iter go seeds;
+  mark
+
+let tfi t seeds =
+  let mark = Hashtbl.create 64 in
+  let rec go name =
+    if not (Hashtbl.mem mark name) then begin
+      Hashtbl.replace mark name ();
+      Array.iter go (node t name).fanins
+    end
+  in
+  List.iter go seeds;
+  mark
+
+let support_of t seeds =
+  let mark = tfi t seeds in
+  List.filter (Hashtbl.mem mark) t.ins
+
+let outputs_reached_by t seeds =
+  let mark = tfo t seeds in
+  List.filter (Hashtbl.mem mark) t.outs
+
+let level_from_inputs t =
+  let lvl = Hashtbl.create (num_nodes t) in
+  List.iter
+    (fun name ->
+      let n = node t name in
+      let l =
+        Array.fold_left (fun acc f -> max acc (Hashtbl.find lvl f + 1)) 0 n.fanins
+      in
+      Hashtbl.replace lvl name (if n.gate = Input then 0 else l))
+    t.order;
+  lvl
+
+let level_to_outputs t =
+  let fout = fanout_map t in
+  let lvl = Hashtbl.create (num_nodes t) in
+  List.iter
+    (fun name ->
+      let l =
+        List.fold_left (fun acc f -> max acc (Hashtbl.find lvl f + 1)) 0 (Hashtbl.find fout name)
+      in
+      Hashtbl.replace lvl name l)
+    (List.rev t.order);
+  lvl
+
+let eval_gate gate vals =
+  match (gate, vals) with
+  | Const0, _ -> false
+  | Const1, _ -> true
+  | Buf, [ a ] -> a
+  | Not, [ a ] -> not a
+  | And, vs -> List.for_all Fun.id vs
+  | Or, vs -> List.exists Fun.id vs
+  | Nand, vs -> not (List.for_all Fun.id vs)
+  | Nor, vs -> not (List.exists Fun.id vs)
+  | Xor, vs -> List.fold_left (fun acc v -> acc <> v) false vs
+  | Xnor, vs -> not (List.fold_left (fun acc v -> acc <> v) false vs)
+  | Mux, [ s; a; b ] -> if s then a else b
+  | (Input | Buf | Not | Mux), _ -> invalid_arg "Netlist.eval_gate"
+
+let eval t in_values =
+  let vals = Hashtbl.create (num_nodes t) in
+  List.iter (fun (name, v) -> Hashtbl.replace vals name v) in_values;
+  List.iter
+    (fun name ->
+      let n = node t name in
+      if n.gate = Input then begin
+        if not (Hashtbl.mem vals name) then
+          failwith (Printf.sprintf "Netlist.eval: missing value for input %s" name)
+      end
+      else
+        Hashtbl.replace vals name
+          (eval_gate n.gate (Array.to_list (Array.map (Hashtbl.find vals) n.fanins))))
+    t.order;
+  List.map (fun o -> (o, Hashtbl.find vals o)) t.outs
+
+let rename t ~prefix =
+  let keep = Hashtbl.create 64 in
+  List.iter (fun n -> Hashtbl.replace keep n ()) t.ins;
+  List.iter (fun n -> Hashtbl.replace keep n ()) t.outs;
+  let tr name = if Hashtbl.mem keep name then name else prefix ^ name in
+  let nodes =
+    List.map
+      (fun name ->
+        let n = node t name in
+        { name = tr n.name; gate = n.gate; fanins = Array.map tr n.fanins })
+      t.order
+  in
+  create nodes ~outputs:t.outs
+
+let pp_stats ppf t =
+  Format.fprintf ppf "inputs=%d outputs=%d gates=%d" (List.length t.ins) (List.length t.outs)
+    (num_gates t)

@@ -1,0 +1,116 @@
+(* Netlist <-> AIG conversion.  The crucial feature for the ECO miter is
+   [cut]: target signals become fresh AIG inputs, detaching their original
+   cones, exactly the n-inputs of M(n, x) in the paper's Figure 1. *)
+
+type to_aig_result = {
+  mgr : Aig.t;
+  lit_of_name : (string, Aig.lit) Hashtbl.t;
+  target_inputs : (string * Aig.lit) list;
+}
+
+let reduce_gate mgr gate lits =
+  match (gate, lits) with
+  | Base.Const0, _ -> Aig.false_
+  | Base.Const1, _ -> Aig.true_
+  | Base.Buf, [ a ] -> a
+  | Base.Not, [ a ] -> Aig.not_ a
+  | Base.And, l -> Aig.and_list mgr l
+  | Base.Or, l -> Aig.or_list mgr l
+  | Base.Nand, l -> Aig.not_ (Aig.and_list mgr l)
+  | Base.Nor, l -> Aig.not_ (Aig.or_list mgr l)
+  | Base.Xor, l -> List.fold_left (Aig.xor_ mgr) Aig.false_ l
+  | Base.Xnor, l -> Aig.not_ (List.fold_left (Aig.xor_ mgr) Aig.false_ l)
+  | Base.Mux, [ s; a; b ] -> Aig.ite mgr s a b
+  | (Base.Input | Base.Buf | Base.Not | Base.Mux), _ -> invalid_arg "Convert.reduce_gate"
+
+let to_aig ?(cut = []) ?mgr ?pi_map t =
+  let mgr = match mgr with Some m -> m | None -> Aig.create () in
+  let lit_of_name = Hashtbl.create (Base.num_nodes t) in
+  (* Shared PIs: reuse literals from a previous conversion when given. *)
+  List.iter
+    (fun pi ->
+      let l =
+        match pi_map with
+        | Some map when Hashtbl.mem map pi -> Hashtbl.find map pi
+        | _ -> Aig.add_input mgr
+      in
+      Hashtbl.replace lit_of_name pi l)
+    (Base.inputs t);
+  let is_cut = Hashtbl.create 8 in
+  List.iter
+    (fun n ->
+      if not (Base.mem t n) then failwith (Printf.sprintf "Convert.to_aig: unknown cut node %s" n);
+      Hashtbl.replace is_cut n ())
+    cut;
+  let target_inputs = ref [] in
+  List.iter
+    (fun name ->
+      let n = Base.node t name in
+      if n.Base.gate = Base.Input then ()
+      else if Hashtbl.mem is_cut name then begin
+        let l = Aig.add_input mgr in
+        target_inputs := (name, l) :: !target_inputs;
+        Hashtbl.replace lit_of_name name l
+      end
+      else begin
+        let lits = Array.to_list (Array.map (Hashtbl.find lit_of_name) n.Base.fanins) in
+        Hashtbl.replace lit_of_name name (reduce_gate mgr n.Base.gate lits)
+      end)
+    (Base.topological_order t);
+  List.iter (fun o -> ignore (Aig.add_output mgr (Hashtbl.find lit_of_name o))) (Base.outputs t);
+  { mgr; lit_of_name; target_inputs = List.rev !target_inputs }
+
+let of_aig m ~prefix =
+  let name_of_node id =
+    if Aig.is_const id then prefix ^ "const"
+    else if Aig.is_input m id then Printf.sprintf "%spi%d" prefix (Aig.input_index m id)
+    else Printf.sprintf "%sn%d" prefix id
+  in
+  let nodes = ref [] in
+  let outs = Array.to_list (Aig.outputs m) in
+  let mark = Aig.tfi_mark m outs in
+  let const_needed = ref false in
+  (* Complemented edges become explicit inverter nodes. *)
+  let inv_name = Hashtbl.create 64 in
+  let lit_name l =
+    let base = name_of_node (Aig.node_of l) in
+    if Aig.is_complemented l then begin
+      let nm = base ^ "_inv" in
+      if not (Hashtbl.mem inv_name nm) then begin
+        Hashtbl.replace inv_name nm ();
+        nodes := { Base.name = nm; gate = Base.Not; fanins = [| base |] } :: !nodes
+      end;
+      nm
+    end
+    else base
+  in
+  (* Inputs must exist even when unused so PI counts survive round-trips. *)
+  Array.iter
+    (fun l -> nodes := { Base.name = name_of_node (Aig.node_of l); gate = Base.Input; fanins = [||] } :: !nodes)
+    (Aig.inputs m);
+  for id = 1 to Aig.num_nodes m - 1 do
+    if mark.(id) && Aig.is_and m id then begin
+      let f0, f1 = Aig.fanins m id in
+      if Aig.is_const (Aig.node_of f0) || Aig.is_const (Aig.node_of f1) then const_needed := true;
+      (* Bind fanin names first: [lit_name] may queue inverter nodes into
+         [nodes], which must not race with reading [!nodes]. *)
+      let f0_name = lit_name f0 in
+      let f1_name = lit_name f1 in
+      nodes :=
+        { Base.name = name_of_node id; gate = Base.And; fanins = [| f0_name; f1_name |] }
+        :: !nodes
+    end
+  done;
+  (* Each output gets a named buffer so complemented outputs work. *)
+  let out_nodes =
+    List.mapi
+      (fun i l ->
+        if Aig.is_const (Aig.node_of l) then const_needed := true;
+        { Base.name = Printf.sprintf "%spo%d" prefix i; gate = Base.Buf; fanins = [| lit_name l |] })
+      outs
+  in
+  if !const_needed || List.exists (fun l -> Aig.is_const (Aig.node_of l)) outs then
+    nodes := { Base.name = prefix ^ "const"; gate = Base.Const0; fanins = [||] } :: !nodes;
+  let all = List.rev_append !nodes out_nodes in
+  (* lit_name may have queued inverter nodes of constants *)
+  Base.create all ~outputs:(List.mapi (fun i _ -> Printf.sprintf "%spo%d" prefix i) outs)

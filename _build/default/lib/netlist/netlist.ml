@@ -1,0 +1,6 @@
+(* Root module of the [netlist] library. *)
+
+include Base
+module Verilog = Verilog
+module Weights = Weights
+module Convert = Convert

@@ -1,0 +1,144 @@
+(* Per-signal resource costs and the contest's eight weight distributions. *)
+
+type weights = (string, int) Hashtbl.t
+
+let uniform t w =
+  let h = Hashtbl.create (Base.num_nodes t) in
+  List.iter (fun n -> Hashtbl.replace h n w) (Base.topological_order t);
+  h
+
+let cost h name = match Hashtbl.find_opt h name with Some w -> w | None -> 1
+let total h names = List.fold_left (fun acc n -> acc + cost h n) 0 names
+
+let of_string text =
+  let h = Hashtbl.create 256 in
+  String.split_on_char '\n' text
+  |> List.iter (fun line ->
+         let line = String.trim line in
+         if line <> "" && line.[0] <> '#' then
+           match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+           | [ name; w ] -> Hashtbl.replace h name (int_of_string w)
+           | _ -> failwith (Printf.sprintf "Weights: bad line %S" line));
+  h
+
+let to_string h =
+  let entries = Hashtbl.fold (fun k v acc -> (k, v) :: acc) h [] in
+  let entries = List.sort compare entries in
+  String.concat "" (List.map (fun (k, v) -> Printf.sprintf "%s %d\n" k v) entries)
+
+let read_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  of_string s
+
+let write_file path h =
+  let oc = open_out path in
+  output_string oc (to_string h);
+  close_out oc
+
+type distribution = T1 | T2 | T3 | T4 | T5 | T6 | T7 | T8
+
+let distribution_name = function
+  | T1 -> "T1"
+  | T2 -> "T2"
+  | T3 -> "T3"
+  | T4 -> "T4"
+  | T5 -> "T5"
+  | T6 -> "T6"
+  | T7 -> "T7"
+  | T8 -> "T8"
+
+let all_distributions = [ T1; T2; T3; T4; T5; T6; T7; T8 ]
+
+(* A random "part of the circuit": the TFI cone of a randomly picked node.
+   The contest applies its distance/path/locality rules only in parts of the
+   netlist, leaving the rest at base weight. *)
+let random_region ~rand t =
+  let names = Array.of_list (Base.topological_order t) in
+  let seeds =
+    List.init (1 + (Array.length names / 200)) (fun _ ->
+        names.(Random.State.int rand (Array.length names)))
+  in
+  Base.tfi t seeds
+
+let base_weight = 5
+
+(* T1/T2: weight scales with distance from the PIs inside a region —
+   decreasing for T1 (bigger near PIs), increasing for T2. *)
+let distance_aware ~rand ~toward_inputs t =
+  let lvl = Base.level_from_inputs t in
+  let maxl = Hashtbl.fold (fun _ l acc -> max acc l) lvl 1 in
+  let region = random_region ~rand t in
+  let h = Hashtbl.create (Base.num_nodes t) in
+  List.iter
+    (fun n ->
+      let l = Hashtbl.find lvl n in
+      let w =
+        if Hashtbl.mem region n then
+          if toward_inputs then base_weight * (1 + ((maxl - l) * 20 / maxl))
+          else base_weight * (1 + (l * 20 / maxl))
+        else base_weight
+      in
+      Hashtbl.replace h n w)
+    (Base.topological_order t);
+  h
+
+(* T3: a handful of random PI-to-PO paths get heavy weights. *)
+let path_aware ~rand t =
+  let h = uniform t base_weight in
+  let fout = Base.fanout_map t in
+  let names = Array.of_list (Base.inputs t) in
+  if Array.length names > 0 then
+    for _ = 1 to 3 do
+      let cur = ref names.(Random.State.int rand (Array.length names)) in
+      let continue = ref true in
+      while !continue do
+        Hashtbl.replace h !cur (base_weight * 15);
+        match Hashtbl.find fout !cur with
+        | [] -> continue := false
+        | outs -> cur := List.nth outs (Random.State.int rand (List.length outs))
+      done
+    done;
+  h
+
+(* T4: the TFI cones of a few seeds form heavy localities. *)
+let locality_aware ~rand t =
+  let h = uniform t base_weight in
+  let region = random_region ~rand t in
+  Hashtbl.iter (fun n () -> Hashtbl.replace h n (base_weight * 12)) region;
+  h
+
+let combine a b =
+  let h = Hashtbl.copy a in
+  Hashtbl.iter
+    (fun n w ->
+      let w' = match Hashtbl.find_opt h n with Some x -> max x w | None -> w in
+      Hashtbl.replace h n w')
+    b;
+  h
+
+(* T8: undulating mixture — weight oscillates with level, plus noise. *)
+let mixed ~rand t =
+  let lvl = Base.level_from_inputs t in
+  let h = Hashtbl.create (Base.num_nodes t) in
+  List.iter
+    (fun n ->
+      let l = Hashtbl.find lvl n in
+      let wave = int_of_float (10.0 *. (1.0 +. sin (float_of_int l /. 2.0))) in
+      let noise = Random.State.int rand 10 in
+      Hashtbl.replace h n (base_weight + wave + noise))
+    (Base.topological_order t);
+  h
+
+let generate ~rand dist t =
+  match dist with
+  | T1 -> distance_aware ~rand ~toward_inputs:true t
+  | T2 -> distance_aware ~rand ~toward_inputs:false t
+  | T3 -> path_aware ~rand t
+  | T4 -> locality_aware ~rand t
+  | T5 -> combine (distance_aware ~rand ~toward_inputs:true t) (path_aware ~rand t)
+  | T6 -> combine (distance_aware ~rand ~toward_inputs:false t) (path_aware ~rand t)
+  | T7 -> combine (distance_aware ~rand ~toward_inputs:true t) (locality_aware ~rand t)
+  | T8 -> mixed ~rand t

@@ -1,0 +1,1 @@
+lib/qbf/qbf2.ml: Aig Array List Sat

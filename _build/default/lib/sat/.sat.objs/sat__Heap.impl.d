@@ -1,0 +1,1 @@
+lib/sat/heap.ml: Array List Vec

@@ -1,0 +1,1 @@
+lib/sat/proof.ml: Array Int Lit Set Vec

@@ -1,0 +1,1 @@
+lib/sat/proof.mli: Lit

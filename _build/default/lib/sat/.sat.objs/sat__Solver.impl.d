@@ -1,0 +1,1 @@
+lib/sat/solver.ml: Array Format Hashtbl Heap Int List Lit Proof Vec

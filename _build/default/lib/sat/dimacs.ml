@@ -1,0 +1,58 @@
+type cnf = { num_vars : int; clauses : Lit.t list list }
+
+let parse_string text =
+  let lines = String.split_on_char '\n' text in
+  let num_vars = ref 0 in
+  let clauses = ref [] in
+  let current = ref [] in
+  let header_seen = ref false in
+  let process_token tok =
+    match int_of_string_opt tok with
+    | None -> failwith (Printf.sprintf "Dimacs: bad token %S" tok)
+    | Some 0 ->
+      clauses := List.rev !current :: !clauses;
+      current := []
+    | Some n ->
+      if abs n > !num_vars then num_vars := abs n;
+      current := Lit.of_dimacs n :: !current
+  in
+  List.iter
+    (fun line ->
+      let line = String.trim line in
+      if line = "" || line.[0] = 'c' then ()
+      else if line.[0] = 'p' then begin
+        header_seen := true;
+        match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+        | [ "p"; "cnf"; nv; _nc ] -> num_vars := max !num_vars (int_of_string nv)
+        | _ -> failwith "Dimacs: bad header"
+      end
+      else
+        String.split_on_char ' ' line
+        |> List.filter (fun s -> s <> "")
+        |> List.iter process_token)
+    lines;
+  if not !header_seen then failwith "Dimacs: missing header";
+  if !current <> [] then clauses := List.rev !current :: !clauses;
+  { num_vars = !num_vars; clauses = List.rev !clauses }
+
+let parse_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  parse_string s
+
+let to_string { num_vars; clauses } =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "p cnf %d %d\n" num_vars (List.length clauses));
+  List.iter
+    (fun cls ->
+      List.iter (fun l -> Buffer.add_string buf (Printf.sprintf "%d " (Lit.to_dimacs l))) cls;
+      Buffer.add_string buf "0\n")
+    clauses;
+  Buffer.contents buf
+
+let load_into solver { num_vars; clauses } =
+  if Solver.nvars solver <> 0 then invalid_arg "Dimacs.load_into: solver not fresh";
+  if num_vars > 0 then ignore (Solver.new_vars solver num_vars);
+  List.iter (Solver.add_clause solver) clauses

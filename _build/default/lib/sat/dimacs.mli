@@ -1,0 +1,14 @@
+(** DIMACS CNF reading and writing, for interoperability and tests. *)
+
+type cnf = { num_vars : int; clauses : Lit.t list list }
+
+val parse_string : string -> cnf
+(** Parses DIMACS CNF text.  Raises [Failure] on malformed input. *)
+
+val parse_file : string -> cnf
+
+val to_string : cnf -> string
+
+val load_into : Solver.t -> cnf -> unit
+(** Allocates variables 0..num_vars-1 in the solver (on top of any existing
+    ones is an error: the solver must be fresh) and adds all clauses. *)

@@ -1,0 +1,79 @@
+type t = {
+  score : int -> float;
+  heap : int Vec.t;
+  mutable indices : int array; (* var -> position in heap, -1 if absent *)
+}
+
+let create ~score = { score; heap = Vec.create ~dummy:(-1) (); indices = Array.make 16 (-1) }
+
+let ensure t v =
+  let n = Array.length t.indices in
+  if v >= n then begin
+    let m = max (2 * n) (v + 1) in
+    let indices = Array.make m (-1) in
+    Array.blit t.indices 0 indices 0 n;
+    t.indices <- indices
+  end
+
+let in_heap t v = v < Array.length t.indices && t.indices.(v) >= 0
+let size t = Vec.size t.heap
+let is_empty t = Vec.is_empty t.heap
+
+let left i = (2 * i) + 1
+let right i = (2 * i) + 2
+let parent i = (i - 1) / 2
+
+let swap t i j =
+  let vi = Vec.get t.heap i and vj = Vec.get t.heap j in
+  Vec.set t.heap i vj;
+  Vec.set t.heap j vi;
+  t.indices.(vi) <- j;
+  t.indices.(vj) <- i
+
+let rec percolate_up t i =
+  if i > 0 then begin
+    let p = parent i in
+    if t.score (Vec.get t.heap i) > t.score (Vec.get t.heap p) then begin
+      swap t i p;
+      percolate_up t p
+    end
+  end
+
+let rec percolate_down t i =
+  let n = Vec.size t.heap in
+  let l = left i and r = right i in
+  let best = ref i in
+  if l < n && t.score (Vec.get t.heap l) > t.score (Vec.get t.heap !best) then best := l;
+  if r < n && t.score (Vec.get t.heap r) > t.score (Vec.get t.heap !best) then best := r;
+  if !best <> i then begin
+    swap t i !best;
+    percolate_down t !best
+  end
+
+let insert t v =
+  ensure t v;
+  if t.indices.(v) < 0 then begin
+    t.indices.(v) <- Vec.size t.heap;
+    Vec.push t.heap v;
+    percolate_up t t.indices.(v)
+  end
+
+let remove_max t =
+  if Vec.is_empty t.heap then raise Not_found;
+  let top = Vec.get t.heap 0 in
+  let last = Vec.pop t.heap in
+  t.indices.(top) <- -1;
+  if Vec.size t.heap > 0 then begin
+    Vec.set t.heap 0 last;
+    t.indices.(last) <- 0;
+    percolate_down t 0
+  end;
+  top
+
+let increase t v = if in_heap t v then percolate_up t t.indices.(v)
+let decrease t v = if in_heap t v then percolate_down t t.indices.(v)
+
+let rebuild t vars =
+  Vec.iter (fun v -> t.indices.(v) <- -1) t.heap;
+  Vec.clear t.heap;
+  List.iter (insert t) vars

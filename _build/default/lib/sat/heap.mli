@@ -1,0 +1,28 @@
+(** Indexed binary max-heap over variable indices, ordered by a mutable
+    score array.  Used for VSIDS decision ordering. *)
+
+type t
+
+val create : score:(int -> float) -> t
+(** [create ~score] makes an empty heap; [score v] is read lazily at each
+    comparison, so bumping activities outside the heap is allowed as long as
+    {!decrease}/{!increase} is called for members afterwards. *)
+
+val in_heap : t -> int -> bool
+val size : t -> int
+val is_empty : t -> bool
+
+val insert : t -> int -> unit
+(** Inserts a variable; no-op if already present. *)
+
+val remove_max : t -> int
+(** Pops the maximum-score variable.  Raises [Not_found] when empty. *)
+
+val increase : t -> int -> unit
+(** Restores heap order after the score of a member increased. *)
+
+val decrease : t -> int -> unit
+(** Restores heap order after the score of a member decreased. *)
+
+val rebuild : t -> int list -> unit
+(** Replaces the content with the given variables and heapifies. *)

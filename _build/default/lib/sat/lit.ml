@@ -1,0 +1,23 @@
+type t = int
+
+let make v = v lsl 1
+let make_neg v = (v lsl 1) lor 1
+let of_var v negated = (v lsl 1) lor (if negated then 1 else 0)
+let var l = l lsr 1
+let neg l = l lxor 1
+let is_neg l = l land 1 = 1
+let is_pos l = l land 1 = 0
+let apply_sign l b = if b then neg l else l
+
+let to_dimacs l =
+  let v = var l + 1 in
+  if is_neg l then -v else v
+
+let of_dimacs n =
+  if n = 0 then invalid_arg "Lit.of_dimacs: 0"
+  else if n > 0 then make (n - 1)
+  else make_neg (-n - 1)
+
+let compare = Int.compare
+let equal = Int.equal
+let pp ppf l = Format.fprintf ppf "%d" (to_dimacs l)

@@ -1,0 +1,40 @@
+(** Propositional literals.
+
+    A literal is an integer [2 * v] (positive literal of variable [v]) or
+    [2 * v + 1] (negative literal).  Variables are non-negative integers
+    allocated by {!Solver.new_var}. *)
+
+type t = int
+
+val make : int -> t
+(** [make v] is the positive literal of variable [v]. *)
+
+val make_neg : int -> t
+(** [make_neg v] is the negative literal of variable [v]. *)
+
+val of_var : int -> bool -> t
+(** [of_var v negated] is the literal of [v] with the given polarity. *)
+
+val var : t -> int
+(** Variable of a literal. *)
+
+val neg : t -> t
+(** Complement of a literal. *)
+
+val is_neg : t -> bool
+(** [true] iff the literal is negative. *)
+
+val is_pos : t -> bool
+
+val apply_sign : t -> bool -> t
+(** [apply_sign l b] is [neg l] when [b], else [l]. *)
+
+val to_dimacs : t -> int
+(** Signed DIMACS integer: [v + 1] or [-(v + 1)]. *)
+
+val of_dimacs : int -> t
+(** Inverse of {!to_dimacs}.  Raises [Invalid_argument] on 0. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

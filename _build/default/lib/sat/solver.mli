@@ -1,0 +1,85 @@
+(** Incremental CDCL SAT solver.
+
+    A MiniSAT-style solver: two-watched-literal propagation, first-UIP
+    conflict analysis with recursive clause minimization, VSIDS decision
+    ordering with phase saving, Luby restarts, and LBD-guided deletion of
+    learned clauses.
+
+    The solver is incremental: clauses may be added between [solve] calls,
+    and each call may carry a list of assumption literals.  After an
+    unsatisfiable answer under assumptions, {!final_conflict} returns the
+    subset of assumptions the proof used (MiniSAT's [analyze_final] /
+    [conflict] vector), which is the primitive both the baseline support
+    computation and [minimize_assumptions] are built on. *)
+
+type t
+
+type result = Sat | Unsat | Unknown
+
+val create : ?proof:bool -> unit -> t
+(** [~proof:true] enables resolution-proof logging: clause-database
+    simplifications that are awkward to trace (conflict-clause
+    minimization, eager literal elimination at level 0) are disabled, and
+    each clause records its derivation for interpolant extraction.  Slower;
+    off by default. *)
+
+val new_var : t -> int
+(** Allocates a fresh variable and returns its index. *)
+
+val new_vars : t -> int -> int
+(** [new_vars s n] allocates [n] variables, returning the first index. *)
+
+val nvars : t -> int
+val nclauses : t -> int
+
+val add_clause : t -> Lit.t list -> unit
+(** Adds a clause.  Tautologies are dropped; literals false at level 0 are
+    removed.  If the clause becomes empty the solver enters a permanently
+    unsatisfiable state ({!okay} becomes [false]). *)
+
+val add_clause_a : t -> Lit.t array -> unit
+
+val okay : t -> bool
+(** [false] once the clause set is unsatisfiable without assumptions. *)
+
+val solve : ?assumptions:Lit.t list -> t -> result
+(** Decides satisfiability of the clause set under the assumptions.
+    Returns [Unknown] only when a conflict budget is active and exhausted. *)
+
+val set_budget : t -> int -> unit
+(** Limits each subsequent [solve] call to the given number of conflicts;
+    a non-positive value removes the limit. *)
+
+val clear_budget : t -> unit
+
+val value : t -> Lit.t -> bool
+(** Model value of a literal after [Sat].  Unassigned model variables
+    default to [false] polarity.  Raises [Invalid_argument] if the last call
+    did not return [Sat]. *)
+
+val model : t -> bool array
+(** Full model after [Sat], indexed by variable. *)
+
+val final_conflict : t -> Lit.t list
+(** After [Unsat] under assumptions: a subset of the assumption literals
+    whose conjunction with the clause set is already unsatisfiable.  Empty
+    when the clause set is unsatisfiable on its own. *)
+
+val n_conflicts : t -> int
+val n_decisions : t -> int
+val n_propagations : t -> int
+val n_solve_calls : t -> int
+
+val pp_stats : Format.formatter -> t -> unit
+
+(** {2 Proof logging and interpolation support} *)
+
+val add_clause_part : t -> Proof.part -> Lit.t list -> unit
+(** Adds a clause tagged with an interpolation partition.  Only valid on a
+    solver created with [~proof:true]; [add_clause] on such a solver tags
+    [Part_a]. *)
+
+val proof : t -> Proof.t option
+(** The resolution proof accumulated so far (when logging is enabled).
+    After an unsatisfiable [solve] with no assumptions,
+    [Proof.empty_clause] points at the derivation of the empty clause. *)

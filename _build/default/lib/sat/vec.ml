@@ -1,0 +1,88 @@
+type 'a t = {
+  mutable data : 'a array;
+  mutable sz : int;
+  dummy : 'a;
+}
+
+let create ?(capacity = 16) ~dummy () =
+  { data = Array.make (max capacity 1) dummy; sz = 0; dummy }
+
+let size v = v.sz
+let is_empty v = v.sz = 0
+
+let get v i =
+  if i < 0 || i >= v.sz then invalid_arg "Vec.get";
+  Array.unsafe_get v.data i
+
+let set v i x =
+  if i < 0 || i >= v.sz then invalid_arg "Vec.set";
+  Array.unsafe_set v.data i x
+
+let grow v =
+  let n = Array.length v.data in
+  let data = Array.make (2 * n) v.dummy in
+  Array.blit v.data 0 data 0 v.sz;
+  v.data <- data
+
+let push v x =
+  if v.sz = Array.length v.data then grow v;
+  Array.unsafe_set v.data v.sz x;
+  v.sz <- v.sz + 1
+
+let pop v =
+  if v.sz = 0 then invalid_arg "Vec.pop";
+  v.sz <- v.sz - 1;
+  let x = v.data.(v.sz) in
+  v.data.(v.sz) <- v.dummy;
+  x
+
+let last v =
+  if v.sz = 0 then invalid_arg "Vec.last";
+  v.data.(v.sz - 1)
+
+let shrink v n =
+  if n < 0 || n > v.sz then invalid_arg "Vec.shrink";
+  for i = n to v.sz - 1 do
+    v.data.(i) <- v.dummy
+  done;
+  v.sz <- n
+
+let clear v = shrink v 0
+
+let iter f v =
+  for i = 0 to v.sz - 1 do
+    f (Array.unsafe_get v.data i)
+  done
+
+let fold f acc v =
+  let acc = ref acc in
+  for i = 0 to v.sz - 1 do
+    acc := f !acc (Array.unsafe_get v.data i)
+  done;
+  !acc
+
+let exists p v =
+  let rec go i = i < v.sz && (p v.data.(i) || go (i + 1)) in
+  go 0
+
+let to_list v = List.init v.sz (fun i -> v.data.(i))
+let to_array v = Array.sub v.data 0 v.sz
+
+let of_list ~dummy l =
+  let v = create ~capacity:(max 1 (List.length l)) ~dummy () in
+  List.iter (push v) l;
+  v
+
+let sort_in_place cmp v =
+  let a = to_array v in
+  Array.sort cmp a;
+  Array.blit a 0 v.data 0 v.sz
+
+let swap_remove v i =
+  if i < 0 || i >= v.sz then invalid_arg "Vec.swap_remove";
+  v.data.(i) <- v.data.(v.sz - 1);
+  v.sz <- v.sz - 1;
+  v.data.(v.sz) <- v.dummy
+
+let unsafe_get v i = Array.unsafe_get v.data i
+let unsafe_set v i x = Array.unsafe_set v.data i x

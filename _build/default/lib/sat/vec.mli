@@ -1,0 +1,34 @@
+(** Growable arrays used throughout the solver. *)
+
+type 'a t
+
+val create : ?capacity:int -> dummy:'a -> unit -> 'a t
+val size : 'a t -> int
+val is_empty : 'a t -> bool
+val get : 'a t -> int -> 'a
+val set : 'a t -> int -> 'a -> unit
+val push : 'a t -> 'a -> unit
+val pop : 'a t -> 'a
+(** Removes and returns the last element.  Raises [Invalid_argument] when
+    empty. *)
+
+val last : 'a t -> 'a
+val shrink : 'a t -> int -> unit
+(** [shrink v n] truncates [v] to its first [n] elements. *)
+
+val clear : 'a t -> unit
+val iter : ('a -> unit) -> 'a t -> unit
+val fold : ('b -> 'a -> 'b) -> 'b -> 'a t -> 'b
+val exists : ('a -> bool) -> 'a t -> bool
+val to_list : 'a t -> 'a list
+val to_array : 'a t -> 'a array
+val of_list : dummy:'a -> 'a list -> 'a t
+val sort_in_place : ('a -> 'a -> int) -> 'a t -> unit
+val swap_remove : 'a t -> int -> unit
+(** [swap_remove v i] removes element [i] by moving the last element into its
+    slot; O(1), does not preserve order. *)
+
+val unsafe_get : 'a t -> int -> 'a
+(** No bounds check; only for validated hot paths. *)
+
+val unsafe_set : 'a t -> int -> 'a -> unit

@@ -1,0 +1,1 @@
+lib/twolevel/cube.ml: Array Format List Stdlib String

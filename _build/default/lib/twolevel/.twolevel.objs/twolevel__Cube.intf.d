@@ -1,0 +1,1 @@
+lib/twolevel/cube.mli: Format

@@ -1,0 +1,1 @@
+lib/twolevel/factor.ml: Aig Array Cube Format List Sop String

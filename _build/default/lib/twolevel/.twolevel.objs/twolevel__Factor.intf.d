@@ -1,0 +1,1 @@
+lib/twolevel/factor.mli: Aig Format Sop

@@ -1,0 +1,1 @@
+lib/twolevel/sop.ml: Array Cube Format List String

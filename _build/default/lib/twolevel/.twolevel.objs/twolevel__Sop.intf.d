@@ -1,0 +1,1 @@
+lib/twolevel/sop.mli: Cube Format

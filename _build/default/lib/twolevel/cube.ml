@@ -1,0 +1,118 @@
+(* pos/neg: one bit per variable; a set bit in [pos] is a positive literal,
+   in [neg] a negative one.  A variable never has both bits set. *)
+type t = { n : int; pos : int array; neg : int array }
+
+let word_bits = 62
+
+let words n = (n + word_bits - 1) / word_bits
+let widx v = v / word_bits
+let wbit v = 1 lsl (v mod word_bits)
+
+let full n =
+  if n < 0 then invalid_arg "Cube.full";
+  { n; pos = Array.make (words n) 0; neg = Array.make (words n) 0 }
+
+let nvars c = c.n
+
+let check_var c v = if v < 0 || v >= c.n then invalid_arg "Cube: variable out of range"
+
+let literal c v =
+  check_var c v;
+  if c.pos.(widx v) land wbit v <> 0 then Some true
+  else if c.neg.(widx v) land wbit v <> 0 then Some false
+  else None
+
+let set c v b =
+  check_var c v;
+  let pos = Array.copy c.pos and neg = Array.copy c.neg in
+  if b then begin
+    pos.(widx v) <- pos.(widx v) lor wbit v;
+    neg.(widx v) <- neg.(widx v) land lnot (wbit v)
+  end
+  else begin
+    neg.(widx v) <- neg.(widx v) lor wbit v;
+    pos.(widx v) <- pos.(widx v) land lnot (wbit v)
+  end;
+  { c with pos; neg }
+
+let drop c v =
+  check_var c v;
+  let pos = Array.copy c.pos and neg = Array.copy c.neg in
+  pos.(widx v) <- pos.(widx v) land lnot (wbit v);
+  neg.(widx v) <- neg.(widx v) land lnot (wbit v);
+  { c with pos; neg }
+
+let of_literals n lits =
+  List.fold_left
+    (fun c (v, b) ->
+      (match literal c v with
+      | Some b' when b' <> b -> invalid_arg "Cube.of_literals: contradictory literals"
+      | _ -> ());
+      set c v b)
+    (full n) lits
+
+let literals c =
+  let acc = ref [] in
+  for v = c.n - 1 downto 0 do
+    match literal c v with Some b -> acc := (v, b) :: !acc | None -> ()
+  done;
+  !acc
+
+let popcount x =
+  let rec go x acc = if x = 0 then acc else go (x land (x - 1)) (acc + 1) in
+  go x 0
+
+let num_literals c =
+  let s = ref 0 in
+  Array.iter (fun w -> s := !s + popcount w) c.pos;
+  Array.iter (fun w -> s := !s + popcount w) c.neg;
+  !s
+
+let subset a b =
+  (* every bit of a is in b *)
+  let ok = ref true in
+  Array.iteri (fun i w -> if w land lnot b.(i) <> 0 then ok := false) a;
+  !ok
+
+let contains c1 c2 =
+  if c1.n <> c2.n then invalid_arg "Cube.contains: support mismatch";
+  subset c1.pos c2.pos && subset c1.neg c2.neg
+
+let disjoint c1 c2 =
+  if c1.n <> c2.n then invalid_arg "Cube.disjoint: support mismatch";
+  let clash = ref false in
+  for i = 0 to Array.length c1.pos - 1 do
+    if c1.pos.(i) land c2.neg.(i) <> 0 || c1.neg.(i) land c2.pos.(i) <> 0 then clash := true
+  done;
+  !clash
+
+let intersect c1 c2 =
+  if disjoint c1 c2 then None
+  else
+    Some
+      {
+        n = c1.n;
+        pos = Array.mapi (fun i w -> w lor c2.pos.(i)) c1.pos;
+        neg = Array.mapi (fun i w -> w lor c2.neg.(i)) c1.neg;
+      }
+
+let eval c bits =
+  if Array.length bits <> c.n then invalid_arg "Cube.eval: arity";
+  let ok = ref true in
+  for v = 0 to c.n - 1 do
+    match literal c v with
+    | Some b -> if bits.(v) <> b then ok := false
+    | None -> ()
+  done;
+  !ok
+
+let equal c1 c2 = c1.n = c2.n && c1.pos = c2.pos && c1.neg = c2.neg
+let compare c1 c2 = Stdlib.compare (c1.n, c1.pos, c1.neg) (c2.n, c2.pos, c2.neg)
+
+let to_string c =
+  match literals c with
+  | [] -> "1"
+  | lits ->
+    String.concat " " (List.map (fun (v, b) -> (if b then "" else "!") ^ "x" ^ string_of_int v) lits)
+
+let pp ppf c = Format.pp_print_string ppf (to_string c)

@@ -1,0 +1,47 @@
+(** Cubes (products of literals) over a fixed support of [n] variables,
+    stored positionally as a pair of bitsets. *)
+
+type t
+
+val full : int -> t
+(** The tautology cube (no literals) over [n] variables. *)
+
+val of_literals : int -> (int * bool) list -> t
+(** [of_literals n lits] builds a cube over [n] variables from
+    [(var, positive)] pairs.  Raises [Invalid_argument] on out-of-range
+    variables or contradictory literals. *)
+
+val nvars : t -> int
+
+val literal : t -> int -> bool option
+(** [literal c v] is [Some true] for a positive literal of [v], [Some false]
+    for a negative one, [None] when [v] is absent. *)
+
+val literals : t -> (int * bool) list
+(** Present literals in ascending variable order. *)
+
+val num_literals : t -> int
+
+val set : t -> int -> bool -> t
+(** Functional update: add/overwrite the literal of a variable. *)
+
+val drop : t -> int -> t
+(** Remove the literal of a variable (no-op if absent). *)
+
+val contains : t -> t -> bool
+(** [contains c1 c2]: every minterm of [c2] is a minterm of [c1]
+    (i.e. the literal set of [c1] is a subset of that of [c2]). *)
+
+val disjoint : t -> t -> bool
+(** True when the cubes share no minterm (opposite literals on some var). *)
+
+val intersect : t -> t -> t option
+(** Conjunction of two cubes; [None] when disjoint. *)
+
+val eval : t -> bool array -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+(** Prints e.g. [x0 !x2 x5]. *)
+
+val to_string : t -> string

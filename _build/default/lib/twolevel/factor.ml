@@ -1,0 +1,115 @@
+type expr =
+  | Const of bool
+  | Lit of int * bool
+  | And of expr list
+  | Or of expr list
+
+(* Count occurrences of each literal in the cover; returns the most
+   frequent (var, phase) or None when no literal occurs twice. *)
+let most_frequent_literal cubes n =
+  let cnt_pos = Array.make n 0 and cnt_neg = Array.make n 0 in
+  List.iter
+    (fun c ->
+      List.iter (fun (v, b) -> if b then cnt_pos.(v) <- cnt_pos.(v) + 1 else cnt_neg.(v) <- cnt_neg.(v) + 1) (Cube.literals c))
+    cubes;
+  let best = ref None and best_cnt = ref 1 in
+  for v = 0 to n - 1 do
+    if cnt_pos.(v) > !best_cnt then begin
+      best := Some (v, true);
+      best_cnt := cnt_pos.(v)
+    end;
+    if cnt_neg.(v) > !best_cnt then begin
+      best := Some (v, false);
+      best_cnt := cnt_neg.(v)
+    end
+  done;
+  !best
+
+let cube_to_expr c =
+  match Cube.literals c with
+  | [] -> Const true
+  | [ (v, b) ] -> Lit (v, b)
+  | lits -> And (List.map (fun (v, b) -> Lit (v, b)) lits)
+
+let rec factor_cubes n cubes =
+  match cubes with
+  | [] -> Const false
+  | [ c ] -> cube_to_expr c
+  | _ -> (
+    match most_frequent_literal cubes n with
+    | None -> Or (List.map cube_to_expr cubes)
+    | Some (v, b) ->
+      let quotient, remainder =
+        List.partition (fun c -> Cube.literal c v = Some b) cubes
+      in
+      let quotient = List.map (fun c -> Cube.drop c v) quotient in
+      let q = factor_cubes n quotient in
+      let head =
+        match q with
+        | Const true -> Lit (v, b)
+        | _ -> And [ Lit (v, b); q ]
+      in
+      if remainder = [] then head
+      else
+        let r = factor_cubes n remainder in
+        let ors e = match e with Or l -> l | _ -> [ e ] in
+        Or (ors head @ ors r))
+
+let factor sop = factor_cubes (Sop.nvars sop) (Sop.cubes sop)
+
+let rec expr_literal_count = function
+  | Const _ -> 0
+  | Lit _ -> 1
+  | And es | Or es -> List.fold_left (fun acc e -> acc + expr_literal_count e) 0 es
+
+let rec expr_to_string = function
+  | Const true -> "1"
+  | Const false -> "0"
+  | Lit (v, true) -> "x" ^ string_of_int v
+  | Lit (v, false) -> "!x" ^ string_of_int v
+  | And es -> String.concat "*" (List.map paren es)
+  | Or es -> String.concat " + " (List.map expr_to_string es)
+
+and paren e =
+  match e with
+  | Or _ -> "(" ^ expr_to_string e ^ ")"
+  | _ -> expr_to_string e
+
+let pp_expr ppf e = Format.pp_print_string ppf (expr_to_string e)
+
+let rec eval_expr e bits =
+  match e with
+  | Const b -> b
+  | Lit (v, b) -> bits.(v) = b
+  | And es -> List.for_all (fun e -> eval_expr e bits) es
+  | Or es -> List.exists (fun e -> eval_expr e bits) es
+
+(* Balanced reduction keeps the synthesized tree logarithmic in depth. *)
+let rec balanced_reduce op = function
+  | [] -> invalid_arg "balanced_reduce: empty"
+  | [ x ] -> x
+  | xs ->
+    let rec pair = function
+      | a :: b :: rest -> op a b :: pair rest
+      | leftover -> leftover
+    in
+    balanced_reduce op (pair xs)
+
+let rec expr_to_aig m vars e =
+  match e with
+  | Const true -> Aig.true_
+  | Const false -> Aig.false_
+  | Lit (v, b) ->
+    let l = vars.(v) in
+    if b then l else Aig.not_ l
+  | And es -> balanced_reduce (Aig.and_ m) (List.map (expr_to_aig m vars) es)
+  | Or es -> balanced_reduce (Aig.or_ m) (List.map (expr_to_aig m vars) es)
+
+let sop_to_aig m vars sop = expr_to_aig m vars (factor sop)
+
+let synthesize sop =
+  let m = Aig.create () in
+  let vars = Aig.add_inputs m (Sop.nvars sop) in
+  let out = sop_to_aig m vars sop in
+  ignore (Aig.add_output m out);
+  (m, out)

@@ -1,0 +1,33 @@
+(** Algebraic factoring of SOP covers into multi-level expressions, and
+    synthesis of the factored form into an AIG.  This plays the role of
+    ABC's [factor] + [strash] pipeline in the paper's patch-synthesis step:
+    the prime irredundant SOP obtained by cube enumeration is factored and
+    the factored form is what gets counted as the patch. *)
+
+type expr =
+  | Const of bool
+  | Lit of int * bool  (** variable index, positive? *)
+  | And of expr list
+  | Or of expr list
+
+val factor : Sop.t -> expr
+(** Most-frequent-literal algebraic factoring (SIS "literal" / quick-factor
+    style): recursively divides the cover by its most frequent literal. *)
+
+val expr_literal_count : expr -> int
+val expr_to_string : expr -> string
+val pp_expr : Format.formatter -> expr -> unit
+
+val eval_expr : expr -> bool array -> bool
+
+val expr_to_aig : Aig.t -> Aig.lit array -> expr -> Aig.lit
+(** [expr_to_aig m vars e] synthesizes [e] over the given AIG literals
+    (indexed by SOP variable). *)
+
+val sop_to_aig : Aig.t -> Aig.lit array -> Sop.t -> Aig.lit
+(** Factors then synthesizes; the standard way to turn a patch SOP into a
+    patch circuit. *)
+
+val synthesize : Sop.t -> Aig.t * Aig.lit
+(** Builds a fresh single-output AIG for the cover: inputs are the SOP
+    variables in order. *)

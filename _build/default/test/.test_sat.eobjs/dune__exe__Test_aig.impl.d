@@ -1,0 +1,1 @@
+test/test_aig.ml: Aig Alcotest Array Fun Int64 List Printf QCheck2 Random Test_util

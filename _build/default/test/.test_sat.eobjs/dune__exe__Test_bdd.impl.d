@@ -1,0 +1,1 @@
+test/test_bdd.ml: Aig Alcotest Array Bdd Gen List Netlist QCheck2 Random Test_util Twolevel

@@ -1,0 +1,1 @@
+test/test_cec.ml: Aig Alcotest Array Cec Gen List Netlist QCheck2 Test_util

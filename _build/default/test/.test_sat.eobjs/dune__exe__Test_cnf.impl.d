@@ -1,0 +1,1 @@
+test/test_cnf.ml: Aig Alcotest Array Fun List QCheck2 Random Sat Test_util

@@ -1,0 +1,1 @@
+test/test_eco.ml: Aig Alcotest Array Cec Eco Fun Gen Hashtbl List Netlist Printf QCheck2 Test_util

@@ -1,0 +1,1 @@
+test/test_flow.ml: Alcotest Flow List QCheck2 Random Test_util

@@ -1,0 +1,1 @@
+test/test_fraig.ml: Aig Alcotest Eco Gen List Netlist Printf QCheck2 Test_util

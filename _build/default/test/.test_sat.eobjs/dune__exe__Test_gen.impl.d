@@ -1,0 +1,1 @@
+test/test_gen.ml: Alcotest Eco Gen List Netlist Printf Random

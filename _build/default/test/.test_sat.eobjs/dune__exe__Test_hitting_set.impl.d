@@ -1,0 +1,1 @@
+test/test_hitting_set.ml: Alcotest Array Eco Fun List Option QCheck2 Random Test_util

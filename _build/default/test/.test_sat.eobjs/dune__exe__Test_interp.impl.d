@@ -1,0 +1,1 @@
+test/test_interp.ml: Aig Alcotest Array Cec Eco Fun Gen Hashtbl List Netlist Option QCheck2 Random Sat Test_util

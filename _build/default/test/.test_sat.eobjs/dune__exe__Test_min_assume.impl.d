@@ -1,0 +1,1 @@
+test/test_min_assume.ml: Alcotest Eco List Printf QCheck2 Random Sat Test_util

@@ -1,0 +1,1 @@
+test/test_netlist.ml: Aig Alcotest Array Fun Gen Hashtbl List Netlist Printf QCheck2 Random Test_util

@@ -1,0 +1,1 @@
+test/test_qbf.ml: Aig Alcotest Array Fun List QCheck2 Qbf Random Test_util

@@ -1,0 +1,1 @@
+test/test_regress.ml: Aig Alcotest Array Eco Fun Hashtbl List Netlist Sat Twolevel

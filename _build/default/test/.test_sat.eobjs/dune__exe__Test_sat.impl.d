@@ -1,0 +1,1 @@
+test/test_sat.ml: Alcotest Array List Printf QCheck2 Random Sat Test_util

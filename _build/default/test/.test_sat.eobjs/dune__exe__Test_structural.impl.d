@@ -1,0 +1,1 @@
+test/test_structural.ml: Alcotest Array Cec Eco Gen Hashtbl List Netlist Printf Qbf

@@ -1,0 +1,1 @@
+test/test_twolevel.ml: Aig Alcotest Array Fun List QCheck2 Random Test_util Twolevel

@@ -1,0 +1,1 @@
+test/test_util.ml: Aig Array List QCheck2 QCheck_alcotest Random Sat

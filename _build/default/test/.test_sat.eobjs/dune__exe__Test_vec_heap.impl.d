@@ -1,0 +1,1 @@
+test/test_vec_heap.ml: Alcotest Array List QCheck2 Sat Test_util

@@ -1,0 +1,169 @@
+(* ROBDDs: canonicity, operations vs truth tables, quantification,
+   AIG conversion, minterm counting, and Minato-Morreale ISOP. *)
+
+let rec random_bdd m rand depth =
+  if depth = 0 then
+    if Random.State.bool rand then Bdd.var m (Random.State.int rand (Bdd.nvars m))
+    else Bdd.nvar m (Random.State.int rand (Bdd.nvars m))
+  else begin
+    let a = random_bdd m rand (depth - 1) in
+    let b = random_bdd m rand (depth - 1) in
+    match Random.State.int rand 3 with
+    | 0 -> Bdd.and_ m a b
+    | 1 -> Bdd.or_ m a b
+    | _ -> Bdd.xor_ m a b
+  end
+
+let all_patterns n = List.init (1 lsl n) (fun c -> Array.init n (fun i -> (c lsr i) land 1 = 1))
+
+let test_basics () =
+  let m = Bdd.create 3 in
+  let x = Bdd.var m 0 and y = Bdd.var m 1 in
+  Alcotest.(check bool) "x & !x = 0" true (Bdd.is_false (Bdd.and_ m x (Bdd.not_ m x)));
+  Alcotest.(check bool) "x | !x = 1" true (Bdd.is_tautology (Bdd.or_ m x (Bdd.not_ m x)));
+  Alcotest.(check bool) "canonical: x&y = y&x" true (Bdd.equal (Bdd.and_ m x y) (Bdd.and_ m y x));
+  Alcotest.(check bool) "double negation" true (Bdd.equal x (Bdd.not_ m (Bdd.not_ m x)));
+  Alcotest.(check bool) "implies" true (Bdd.is_tautology (Bdd.implies m (Bdd.and_ m x y) x))
+
+let ops_match_truth_tables =
+  Test_util.qcheck ~count:200 "ops agree with semantics"
+    QCheck2.Gen.(int_range 0 1_000_000)
+    (fun seed ->
+      let rand = Random.State.make [| seed |] in
+      let m = Bdd.create 4 in
+      let a = random_bdd m rand 3 in
+      let b = random_bdd m rand 3 in
+      List.for_all
+        (fun bits ->
+          Bdd.eval m bits (Bdd.and_ m a b) = (Bdd.eval m bits a && Bdd.eval m bits b)
+          && Bdd.eval m bits (Bdd.or_ m a b) = (Bdd.eval m bits a || Bdd.eval m bits b)
+          && Bdd.eval m bits (Bdd.xor_ m a b) = (Bdd.eval m bits a <> Bdd.eval m bits b)
+          && Bdd.eval m bits (Bdd.not_ m a) = not (Bdd.eval m bits a))
+        (all_patterns 4))
+
+let canonicity_equals_semantics =
+  Test_util.qcheck ~count:200 "equal handles iff same truth table"
+    QCheck2.Gen.(int_range 0 1_000_000)
+    (fun seed ->
+      let rand = Random.State.make [| seed |] in
+      let m = Bdd.create 4 in
+      let a = random_bdd m rand 3 in
+      let b = random_bdd m rand 3 in
+      let same_tt =
+        List.for_all (fun bits -> Bdd.eval m bits a = Bdd.eval m bits b) (all_patterns 4)
+      in
+      Bdd.equal a b = same_tt)
+
+let quantification_semantics =
+  Test_util.qcheck ~count:200 "exists/forall"
+    QCheck2.Gen.(int_range 0 1_000_000)
+    (fun seed ->
+      let rand = Random.State.make [| seed |] in
+      let m = Bdd.create 4 in
+      let f = random_bdd m rand 3 in
+      let v = Random.State.int rand 4 in
+      let ex = Bdd.exists m [ v ] f in
+      let fa = Bdd.forall m [ v ] f in
+      List.for_all
+        (fun bits ->
+          let with_v p =
+            let b = Array.copy bits in
+            b.(v) <- p;
+            Bdd.eval m b f
+          in
+          Bdd.eval m bits ex = (with_v false || with_v true)
+          && Bdd.eval m bits fa = (with_v false && with_v true))
+        (all_patterns 4))
+
+let test_count_minterms () =
+  let m = Bdd.create 4 in
+  let x = Bdd.var m 0 in
+  Alcotest.(check (float 0.001)) "x has 8 minterms" 8.0 (Bdd.count_minterms m x);
+  Alcotest.(check (float 0.001)) "x&y has 4" 4.0
+    (Bdd.count_minterms m (Bdd.and_ m x (Bdd.var m 1)));
+  Alcotest.(check (float 0.001)) "true has 16" 16.0 (Bdd.count_minterms m Bdd.tru);
+  (* Skipped level: x0 & x3 also 4. *)
+  Alcotest.(check (float 0.001)) "skipped levels" 4.0
+    (Bdd.count_minterms m (Bdd.and_ m x (Bdd.var m 3)))
+
+let test_support () =
+  let m = Bdd.create 5 in
+  let f = Bdd.and_ m (Bdd.var m 1) (Bdd.xor_ m (Bdd.var m 3) (Bdd.var m 4)) in
+  Alcotest.(check (list int)) "support" [ 1; 3; 4 ] (Bdd.support m f)
+
+let of_aig_matches =
+  Test_util.qcheck ~count:100 "of_aig equals AIG evaluation"
+    QCheck2.Gen.(int_range 0 1_000_000)
+    (fun seed ->
+      let netlist = Gen.Circuits.random_dag ~seed ~inputs:5 ~gates:30 ~outputs:2 () in
+      let aig = (Netlist.Convert.to_aig netlist).Netlist.Convert.mgr in
+      let m = Bdd.create 5 in
+      let map i = Bdd.var m i in
+      List.for_all
+        (fun out ->
+          let b = Bdd.of_aig m aig ~map out in
+          List.for_all (fun bits -> Bdd.eval m bits b = Aig.eval aig bits out) (all_patterns 5))
+        (Array.to_list (Aig.outputs aig)))
+
+let isop_within_interval =
+  Test_util.qcheck ~count:200 "ISOP lies in [lower, upper] and is prime-ish"
+    QCheck2.Gen.(int_range 0 1_000_000)
+    (fun seed ->
+      let rand = Random.State.make [| seed |] in
+      let m = Bdd.create 4 in
+      let f = random_bdd m rand 3 in
+      let g = random_bdd m rand 2 in
+      let lower = Bdd.and_ m f (Bdd.not_ m g) in
+      let upper = Bdd.or_ m f g in
+      let sop, cover = Bdd.isop m ~lower ~upper in
+      (* lower => cover => upper, and the cube list equals the cover BDD. *)
+      Bdd.is_tautology (Bdd.implies m lower cover)
+      && Bdd.is_tautology (Bdd.implies m cover upper)
+      && List.for_all
+           (fun bits -> Twolevel.Sop.eval sop bits = Bdd.eval m bits cover)
+           (all_patterns 4))
+
+let isop_exact_when_tight =
+  Test_util.qcheck ~count:200 "ISOP with lower = upper reproduces the function"
+    QCheck2.Gen.(int_range 0 1_000_000)
+    (fun seed ->
+      let rand = Random.State.make [| seed |] in
+      let m = Bdd.create 4 in
+      let f = random_bdd m rand 3 in
+      let sop, cover = Bdd.isop m ~lower:f ~upper:f in
+      Bdd.equal cover f
+      && List.for_all (fun bits -> Twolevel.Sop.eval sop bits = Bdd.eval m bits f) (all_patterns 4))
+
+let test_bdd_vs_aig_quantify () =
+  (* Cross-check Aig.forall against Bdd.forall on an adder cone. *)
+  let netlist = Gen.Circuits.ripple_adder 3 in
+  let conv = Netlist.Convert.to_aig netlist in
+  let aig = conv.Netlist.Convert.mgr in
+  let out = Aig.output aig 0 in
+  let n = Aig.num_inputs aig in
+  let m = Bdd.create n in
+  let b = Bdd.of_aig m aig ~map:(Bdd.var m) out in
+  let v_aig = (Aig.inputs aig).(2) in
+  let fa_aig = Aig.forall aig ~var:v_aig out in
+  let fa_bdd = Bdd.forall m [ 2 ] b in
+  List.iter
+    (fun bits ->
+      Alcotest.(check bool) "forall agrees" (Bdd.eval m bits fa_bdd) (Aig.eval aig bits fa_aig))
+    (all_patterns n)
+
+let () =
+  Alcotest.run "bdd"
+    [
+      ( "core",
+        [
+          Alcotest.test_case "basics" `Quick test_basics;
+          Alcotest.test_case "count minterms" `Quick test_count_minterms;
+          Alcotest.test_case "support" `Quick test_support;
+          Alcotest.test_case "bdd vs aig quantification" `Quick test_bdd_vs_aig_quantify;
+          ops_match_truth_tables;
+          canonicity_equals_semantics;
+          quantification_semantics;
+          of_aig_matches;
+        ] );
+      ("isop", [ isop_within_interval; isop_exact_when_tight ]);
+    ]

@@ -1,0 +1,120 @@
+(* Tseitin encoding: the SAT solver and the AIG simulator must agree on
+   every input pattern, and incremental encodings must share variables. *)
+
+let enumerate_models env solver inputs =
+  (* All satisfying input assignments of the current clause set, by
+     blocking loops — only for tiny input counts. *)
+  let input_sats = Array.map (fun l -> Aig.Cnf.lit env l) inputs in
+  let models = ref [] in
+  let continue = ref true in
+  while !continue do
+    match Sat.Solver.solve solver with
+    | Sat.Solver.Sat ->
+      let bits = Array.map (fun sl -> Sat.Solver.value solver sl) input_sats in
+      models := Array.to_list bits :: !models;
+      Sat.Solver.add_clause solver
+        (Array.to_list
+           (Array.mapi (fun i sl -> Sat.Lit.apply_sign sl bits.(i)) input_sats))
+    | _ -> continue := false
+  done;
+  List.sort compare !models
+
+let tseitin_agrees_with_semantics =
+  Test_util.qcheck ~count:150 "SAT models = semantic onset"
+    QCheck2.Gen.(int_range 0 1_000_000)
+    (fun seed ->
+      let rand = Random.State.make [| seed |] in
+      let m = Aig.create () in
+      let inputs = Aig.add_inputs m 4 in
+      let pool = ref (Array.to_list inputs) in
+      let pick () = List.nth !pool (Random.State.int rand (List.length !pool)) in
+      for _ = 1 to 15 do
+        let a = pick () and b = pick () in
+        let a = if Random.State.bool rand then Aig.not_ a else a in
+        pool := Aig.and_ m a b :: !pool
+      done;
+      let root = pick () in
+      let solver = Sat.Solver.create () in
+      let env = Aig.Cnf.create m solver in
+      let root_sat = Aig.Cnf.lit env root in
+      Sat.Solver.add_clause solver [ root_sat ];
+      let models = enumerate_models env solver inputs in
+      let expected =
+        List.filter
+          (fun code ->
+            let bits = Array.init 4 (fun i -> (code lsr i) land 1 = 1) in
+            Aig.eval m bits root)
+          (List.init 16 Fun.id)
+        |> List.map (fun code -> List.init 4 (fun i -> (code lsr i) land 1 = 1))
+        |> List.sort compare
+      in
+      models = expected)
+
+let test_constant_literals () =
+  let m = Aig.create () in
+  let solver = Sat.Solver.create () in
+  let env = Aig.Cnf.create m solver in
+  let t = Aig.Cnf.lit env Aig.true_ in
+  Sat.Solver.add_clause solver [ t ];
+  Alcotest.(check bool) "true is satisfiable" true (Sat.Solver.solve solver = Sat.Solver.Sat);
+  let f = Aig.Cnf.lit env Aig.false_ in
+  Sat.Solver.add_clause solver [ f ];
+  Alcotest.(check bool) "plus false is unsat" true (Sat.Solver.solve solver = Sat.Solver.Unsat)
+
+let test_memoized_encoding () =
+  let m = Aig.create () in
+  let x = Aig.add_input m and y = Aig.add_input m in
+  let a = Aig.and_ m x y in
+  let solver = Sat.Solver.create () in
+  let env = Aig.Cnf.create m solver in
+  let l1 = Aig.Cnf.lit env a in
+  let vars_after_first = Sat.Solver.nvars solver in
+  let l2 = Aig.Cnf.lit env a in
+  Alcotest.(check int) "same literal" l1 l2;
+  Alcotest.(check int) "no new variables" vars_after_first (Sat.Solver.nvars solver);
+  (* A bigger cone over the same nodes only adds the new node. *)
+  let b = Aig.and_ m a (Aig.not_ x) in
+  ignore (Aig.Cnf.lit env b);
+  Alcotest.(check int) "one more variable" (vars_after_first + 1) (Sat.Solver.nvars solver)
+
+let test_lit_opt () =
+  let m = Aig.create () in
+  let x = Aig.add_input m in
+  let solver = Sat.Solver.create () in
+  let env = Aig.Cnf.create m solver in
+  Alcotest.(check bool) "absent before" true (Aig.Cnf.lit_opt env x = None);
+  let l = Aig.Cnf.lit env x in
+  Alcotest.(check bool) "present after" true (Aig.Cnf.lit_opt env x = Some l);
+  Alcotest.(check bool) "complement tracked" true
+    (Aig.Cnf.lit_opt env (Aig.not_ x) = Some (Sat.Lit.neg l))
+
+let test_equivalence_check_via_cnf () =
+  (* (x & y) | (x & z)  ==  x & (y | z): their XOR is unsatisfiable. *)
+  let m = Aig.create () in
+  let x = Aig.add_input m and y = Aig.add_input m and z = Aig.add_input m in
+  let lhs = Aig.or_ m (Aig.and_ m x y) (Aig.and_ m x z) in
+  let rhs = Aig.and_ m x (Aig.or_ m y z) in
+  let solver = Sat.Solver.create () in
+  let env = Aig.Cnf.create m solver in
+  let eq_miter = Aig.xor_ m lhs rhs in
+  (match Sat.Solver.solve ~assumptions:[ Aig.Cnf.lit env eq_miter ] solver with
+  | Sat.Solver.Unsat -> ()
+  | _ -> Alcotest.fail "distributivity should hold");
+  (* A genuinely different pair: x & y vs x | y differ. *)
+  let diff = Aig.xor_ m (Aig.and_ m x y) (Aig.or_ m x y) in
+  (match Sat.Solver.solve ~assumptions:[ Aig.Cnf.lit env diff ] solver with
+  | Sat.Solver.Sat -> ()
+  | _ -> Alcotest.fail "and should differ from or")
+
+let () =
+  Alcotest.run "cnf"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "constants" `Quick test_constant_literals;
+          Alcotest.test_case "memoized encoding" `Quick test_memoized_encoding;
+          Alcotest.test_case "lit_opt" `Quick test_lit_opt;
+          Alcotest.test_case "equivalence via cnf" `Quick test_equivalence_check_via_cnf;
+        ] );
+      ("property", [ tseitin_agrees_with_semantics ]);
+    ]

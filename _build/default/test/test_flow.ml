@@ -1,0 +1,159 @@
+(* Dinic max-flow and node-capacitated min cut. *)
+
+let test_simple_path () =
+  let g = Flow.Maxflow.create 3 in
+  Flow.Maxflow.add_edge g 0 1 5;
+  Flow.Maxflow.add_edge g 1 2 3;
+  Alcotest.(check int) "bottleneck" 3 (Flow.Maxflow.max_flow g ~source:0 ~sink:2)
+
+let test_parallel_paths () =
+  let g = Flow.Maxflow.create 4 in
+  Flow.Maxflow.add_edge g 0 1 4;
+  Flow.Maxflow.add_edge g 1 3 4;
+  Flow.Maxflow.add_edge g 0 2 2;
+  Flow.Maxflow.add_edge g 2 3 9;
+  Alcotest.(check int) "sum of paths" 6 (Flow.Maxflow.max_flow g ~source:0 ~sink:3)
+
+let test_classic_network () =
+  (* CLRS figure: max flow 23. *)
+  let g = Flow.Maxflow.create 6 in
+  List.iter
+    (fun (u, v, c) -> Flow.Maxflow.add_edge g u v c)
+    [ (0, 1, 16); (0, 2, 13); (1, 2, 10); (2, 1, 4); (1, 3, 12); (3, 2, 9); (2, 4, 14);
+      (4, 3, 7); (3, 5, 20); (4, 5, 4) ];
+  Alcotest.(check int) "clrs flow" 23 (Flow.Maxflow.max_flow g ~source:0 ~sink:5)
+
+let test_disconnected () =
+  let g = Flow.Maxflow.create 4 in
+  Flow.Maxflow.add_edge g 0 1 5;
+  Flow.Maxflow.add_edge g 2 3 5;
+  Alcotest.(check int) "no path" 0 (Flow.Maxflow.max_flow g ~source:0 ~sink:3)
+
+let test_min_cut_edges () =
+  let g = Flow.Maxflow.create 4 in
+  Flow.Maxflow.add_edge g 0 1 10;
+  Flow.Maxflow.add_edge g 1 2 1;
+  Flow.Maxflow.add_edge g 2 3 10;
+  let f = Flow.Maxflow.max_flow g ~source:0 ~sink:3 in
+  Alcotest.(check int) "flow" 1 f;
+  let side, cut = Flow.Maxflow.min_cut g ~source:0 in
+  Alcotest.(check (list int)) "source side" [ 0; 1 ] side;
+  Alcotest.(check (list (pair int int))) "cut edge" [ (1, 2) ] cut
+
+(* Brute-force min cut by enumerating all source-side subsets. *)
+let brute_min_cut n edges source sink =
+  let best = ref max_int in
+  for mask = 0 to (1 lsl n) - 1 do
+    if mask land (1 lsl source) <> 0 && mask land (1 lsl sink) = 0 then begin
+      let cost =
+        List.fold_left
+          (fun acc (u, v, c) ->
+            if mask land (1 lsl u) <> 0 && mask land (1 lsl v) = 0 then acc + c else acc)
+          0 edges
+      in
+      if cost < !best then best := cost
+    end
+  done;
+  !best
+
+let maxflow_equals_brute_mincut =
+  Test_util.qcheck ~count:200 "max-flow = brute-force min-cut"
+    QCheck2.Gen.(int_range 0 1_000_000)
+    (fun seed ->
+      let rand = Random.State.make [| seed |] in
+      let n = 4 + Random.State.int rand 3 in
+      let m = 4 + Random.State.int rand 8 in
+      let edges =
+        List.init m (fun _ ->
+            (Random.State.int rand n, Random.State.int rand n, Random.State.int rand 10))
+        |> List.filter (fun (u, v, _) -> u <> v)
+      in
+      let g = Flow.Maxflow.create n in
+      List.iter (fun (u, v, c) -> Flow.Maxflow.add_edge g u v c) edges;
+      Flow.Maxflow.max_flow g ~source:0 ~sink:(n - 1) = brute_min_cut n edges 0 (n - 1))
+
+let cut_edges_are_saturated_and_sufficient =
+  Test_util.qcheck ~count:200 "reported cut weight = flow value"
+    QCheck2.Gen.(int_range 0 1_000_000)
+    (fun seed ->
+      let rand = Random.State.make [| seed |] in
+      let n = 4 + Random.State.int rand 3 in
+      let m = 4 + Random.State.int rand 8 in
+      let edges =
+        List.init m (fun _ ->
+            (Random.State.int rand n, Random.State.int rand n, 1 + Random.State.int rand 9))
+        |> List.filter (fun (u, v, _) -> u <> v)
+        (* one edge per (u, v) pair so cut weights sum unambiguously *)
+        |> List.sort_uniq compare
+        |> List.fold_left
+             (fun acc (u, v, c) ->
+               if List.exists (fun (u', v', _) -> u = u' && v = v') acc then acc
+               else (u, v, c) :: acc)
+             []
+      in
+      let g = Flow.Maxflow.create n in
+      List.iter (fun (u, v, c) -> Flow.Maxflow.add_edge g u v c) edges;
+      let f = Flow.Maxflow.max_flow g ~source:0 ~sink:(n - 1) in
+      let _, cut = Flow.Maxflow.min_cut g ~source:0 in
+      let cut_weight =
+        List.fold_left
+          (fun acc (u, v) ->
+            acc
+            + List.fold_left
+                (fun a (u', v', c) -> if u = u' && v = v' then a + c else a)
+                0 edges)
+          0 cut
+      in
+      cut_weight = f)
+
+let test_node_cut_chain () =
+  (* a -> b -> c with node costs 5, 1, 5: the cut picks b. *)
+  let g = Flow.Maxflow.Node_cut.create 3 in
+  Flow.Maxflow.Node_cut.set_node_capacity g 0 5;
+  Flow.Maxflow.Node_cut.set_node_capacity g 1 1;
+  Flow.Maxflow.Node_cut.set_node_capacity g 2 5;
+  Flow.Maxflow.Node_cut.add_arc g 0 1;
+  Flow.Maxflow.Node_cut.add_arc g 1 2;
+  let value, cut = Flow.Maxflow.Node_cut.solve g ~sources:[ 0 ] ~sinks:[ 2 ] in
+  Alcotest.(check int) "value" 1 value;
+  Alcotest.(check (list int)) "cut at cheap node" [ 1 ] cut
+
+let test_node_cut_diamond () =
+  (* source 0 fans out to 1 and 2, both feed 3; cutting both middles (2+3)
+     beats cutting the root (10) or the sink (10). *)
+  let g = Flow.Maxflow.Node_cut.create 4 in
+  Flow.Maxflow.Node_cut.set_node_capacity g 0 10;
+  Flow.Maxflow.Node_cut.set_node_capacity g 1 2;
+  Flow.Maxflow.Node_cut.set_node_capacity g 2 3;
+  Flow.Maxflow.Node_cut.set_node_capacity g 3 10;
+  Flow.Maxflow.Node_cut.add_arc g 0 1;
+  Flow.Maxflow.Node_cut.add_arc g 0 2;
+  Flow.Maxflow.Node_cut.add_arc g 1 3;
+  Flow.Maxflow.Node_cut.add_arc g 2 3;
+  let value, cut = Flow.Maxflow.Node_cut.solve g ~sources:[ 0 ] ~sinks:[ 3 ] in
+  Alcotest.(check int) "value" 5 value;
+  Alcotest.(check (list int)) "cut middles" [ 1; 2 ] cut
+
+let test_node_cut_uncuttable () =
+  (* No finite-capacity node on the path: value is infinite-ish. *)
+  let g = Flow.Maxflow.Node_cut.create 2 in
+  Flow.Maxflow.Node_cut.add_arc g 0 1;
+  let value, _ = Flow.Maxflow.Node_cut.solve g ~sources:[ 0 ] ~sinks:[ 1 ] in
+  Alcotest.(check bool) "unbounded" true (value >= Flow.Maxflow.infinite)
+
+let () =
+  Alcotest.run "flow"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "simple path" `Quick test_simple_path;
+          Alcotest.test_case "parallel paths" `Quick test_parallel_paths;
+          Alcotest.test_case "classic network" `Quick test_classic_network;
+          Alcotest.test_case "disconnected" `Quick test_disconnected;
+          Alcotest.test_case "min cut edges" `Quick test_min_cut_edges;
+          Alcotest.test_case "node cut chain" `Quick test_node_cut_chain;
+          Alcotest.test_case "node cut diamond" `Quick test_node_cut_diamond;
+          Alcotest.test_case "node cut uncuttable" `Quick test_node_cut_uncuttable;
+        ] );
+      ("property", [ maxflow_equals_brute_mincut; cut_edges_are_saturated_and_sufficient ]);
+    ]

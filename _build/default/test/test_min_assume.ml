@@ -1,0 +1,123 @@
+(* Algorithm 1: minimality, preference order, and the O(log N) call-count
+   advantage over the linear filter. *)
+
+(* Oracle factory: [unsat subset] = the subset covers [needed] (a set
+   cover-flavoured monotone oracle: UNSAT iff all needed elements present). *)
+let superset_oracle needed lits = List.for_all (fun x -> List.mem x lits) needed
+
+let test_single_needed () =
+  let a = List.init 16 Sat.Lit.make in
+  let needed = [ Sat.Lit.make 7 ] in
+  let stats = Eco.Min_assume.create_stats () in
+  let result =
+    Eco.Min_assume.minimize ~stats ~unsat:(superset_oracle needed) ~base:[] a
+  in
+  Alcotest.(check (list int)) "exactly the needed element" needed result;
+  (* Binary-search-flavoured call count: well under the linear 16. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "calls=%d < 14" stats.Eco.Min_assume.solver_calls)
+    true
+    (stats.Eco.Min_assume.solver_calls < 14)
+
+let test_none_needed () =
+  let a = List.init 8 Sat.Lit.make in
+  let result = Eco.Min_assume.minimize ~unsat:(fun _ -> true) ~base:[] a in
+  Alcotest.(check (list int)) "empty" [] result
+
+let test_all_needed () =
+  let a = List.init 6 Sat.Lit.make in
+  let result = Eco.Min_assume.minimize ~unsat:(superset_oracle a) ~base:[] a in
+  Alcotest.(check (list int)) "everything kept" (List.sort compare a) (List.sort compare result)
+
+let test_base_counts () =
+  (* base lits are always passed to the oracle. *)
+  let base = [ Sat.Lit.make 100 ] in
+  let a = List.init 4 Sat.Lit.make in
+  let needed = [ Sat.Lit.make 100; Sat.Lit.make 2 ] in
+  let result = Eco.Min_assume.minimize ~unsat:(superset_oracle needed) ~base a in
+  Alcotest.(check (list int)) "only the non-base element" [ Sat.Lit.make 2 ] result
+
+let test_preference_for_early () =
+  (* Either {0} or {5} suffices: the earlier (cheaper) one must win. *)
+  let a = List.init 6 Sat.Lit.make in
+  let oracle lits = List.mem (Sat.Lit.make 0) lits || List.mem (Sat.Lit.make 5) lits in
+  let result = Eco.Min_assume.minimize ~unsat:oracle ~base:[] a in
+  Alcotest.(check (list int)) "prefers the first" [ Sat.Lit.make 0 ] result
+
+let minimal_against_monotone_oracle =
+  Test_util.qcheck ~count:300 "result is minimal and sufficient"
+    QCheck2.Gen.(pair (int_range 0 1_000_000) (int_range 1 12))
+    (fun (seed, n) ->
+      let rand = Random.State.make [| seed |] in
+      let a = List.init n Sat.Lit.make in
+      (* Random monotone oracle: UNSAT iff the subset hits every clause of a
+         random hitting-set instance. *)
+      let clauses =
+        List.init
+          (1 + Random.State.int rand 4)
+          (fun _ ->
+            List.filter (fun _ -> Random.State.bool rand) a |> fun l ->
+            if l = [] then [ List.nth a (Random.State.int rand n) ] else l)
+      in
+      let oracle lits = List.for_all (fun cls -> List.exists (fun x -> List.mem x lits) cls) clauses in
+      if not (oracle a) then true (* precondition violated: skip *)
+      else begin
+        let result = Eco.Min_assume.minimize ~unsat:oracle ~base:[] a in
+        oracle result
+        && List.for_all (fun x -> not (oracle (List.filter (( <> ) x) result))) result
+      end)
+
+let agrees_with_linear_on_size =
+  Test_util.qcheck ~count:200 "same minimality class as the linear filter"
+    QCheck2.Gen.(pair (int_range 0 1_000_000) (int_range 1 10))
+    (fun (seed, n) ->
+      let rand = Random.State.make [| seed |] in
+      let a = List.init n Sat.Lit.make in
+      let needed = List.filter (fun _ -> Random.State.bool rand) a in
+      let oracle = superset_oracle needed in
+      let d = Eco.Min_assume.minimize ~unsat:oracle ~base:[] a in
+      let l = Eco.Min_assume.minimize_linear ~unsat:oracle ~base:[] a in
+      (* With a unique minimal set both must find it exactly. *)
+      List.sort compare d = List.sort compare needed
+      && List.sort compare l = List.sort compare needed)
+
+let log_calls_for_singleton =
+  Test_util.qcheck ~count:50 "call count is logarithmic for one needed element"
+    QCheck2.Gen.(int_range 4 9)
+    (fun log_n ->
+      let n = 1 lsl log_n in
+      let a = List.init n Sat.Lit.make in
+      let needed = [ Sat.Lit.make (n / 2) ] in
+      let stats = Eco.Min_assume.create_stats () in
+      ignore (Eco.Min_assume.minimize ~stats ~unsat:(superset_oracle needed) ~base:[] a);
+      let lin_stats = Eco.Min_assume.create_stats () in
+      ignore
+        (Eco.Min_assume.minimize_linear ~stats:lin_stats ~unsat:(superset_oracle needed) ~base:[]
+           a);
+      (* The divide-and-conquer uses ~4 log2 N calls; the linear filter N. *)
+      stats.Eco.Min_assume.solver_calls <= 4 * (log_n + 1)
+      && lin_stats.Eco.Min_assume.solver_calls = n)
+
+let test_budget_propagates () =
+  let a = List.init 4 Sat.Lit.make in
+  Alcotest.check_raises "budget bubbles out" Eco.Min_assume.Budget_exhausted (fun () ->
+      ignore
+        (Eco.Min_assume.minimize
+           ~unsat:(fun _ -> raise Eco.Min_assume.Budget_exhausted)
+           ~base:[] a))
+
+let () =
+  Alcotest.run "min_assume"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "single needed" `Quick test_single_needed;
+          Alcotest.test_case "none needed" `Quick test_none_needed;
+          Alcotest.test_case "all needed" `Quick test_all_needed;
+          Alcotest.test_case "base counts" `Quick test_base_counts;
+          Alcotest.test_case "prefers early elements" `Quick test_preference_for_early;
+          Alcotest.test_case "budget propagates" `Quick test_budget_propagates;
+        ] );
+      ( "property",
+        [ minimal_against_monotone_oracle; agrees_with_linear_on_size; log_calls_for_singleton ] );
+    ]

@@ -1,0 +1,100 @@
+(* CEGAR 2QBF: known-answer formulas and certificate soundness. *)
+
+let solve m phi ex fa = Qbf.Qbf2.solve m ~phi ~exists_inputs:ex ~forall_inputs:fa
+
+let test_exists_wins_equality () =
+  (* exists x forall y: (x xor y) is false for every x: no. *)
+  let m = Aig.create () in
+  let x = Aig.add_input m and y = Aig.add_input m in
+  let phi = Aig.xor_ m x y in
+  (match solve m phi [ x ] [ y ] with
+  | Qbf.Qbf2.Unsat cert, _ ->
+    (* Certificate: y assignments whose cofactors conjoin to 0. *)
+    Alcotest.(check bool) "certificate nonempty" true (cert <> [])
+  | _ -> Alcotest.fail "expected UNSAT")
+
+let test_tautology () =
+  (* exists x forall y: (x or !x) -> SAT, any witness works. *)
+  let m = Aig.create () in
+  let x = Aig.add_input m and y = Aig.add_input m in
+  ignore y;
+  let phi = Aig.or_ m x (Aig.not_ x) in
+  match solve m phi [ x ] [ y ] with
+  | Qbf.Qbf2.Sat _, _ -> ()
+  | _ -> Alcotest.fail "expected SAT"
+
+let test_witness_correct () =
+  (* exists x forall y: (x and (y or !y)): witness must set x = 1. *)
+  let m = Aig.create () in
+  let x = Aig.add_input m and y = Aig.add_input m in
+  let phi = Aig.and_ m x (Aig.or_ m y (Aig.not_ y)) in
+  match solve m phi [ x ] [ y ] with
+  | Qbf.Qbf2.Sat w, _ -> Alcotest.(check bool) "x = 1" true w.(0)
+  | _ -> Alcotest.fail "expected SAT"
+
+let test_two_universals () =
+  (* exists x forall y1 y2: x = (y1 and y2) — no constant x matches. *)
+  let m = Aig.create () in
+  let x = Aig.add_input m and y1 = Aig.add_input m and y2 = Aig.add_input m in
+  let phi = Aig.xnor_ m x (Aig.and_ m y1 y2) in
+  match solve m phi [ x ] [ y1; y2 ] with
+  | Qbf.Qbf2.Unsat cert, stats ->
+    Alcotest.(check bool) "at least two counterexamples" true (List.length cert >= 2);
+    Alcotest.(check bool) "few iterations" true (stats.Qbf.Qbf2.iterations <= 8)
+  | _ -> Alcotest.fail "expected UNSAT"
+
+let test_multi_exists () =
+  (* exists x1 x2 forall y: (x1 xor x2) and (y or !y): needs x1 <> x2. *)
+  let m = Aig.create () in
+  let x1 = Aig.add_input m and x2 = Aig.add_input m and y = Aig.add_input m in
+  let phi = Aig.and_ m (Aig.xor_ m x1 x2) (Aig.or_ m y (Aig.not_ y)) in
+  match solve m phi [ x1; x2 ] [ y ] with
+  | Qbf.Qbf2.Sat w, _ -> Alcotest.(check bool) "x1 <> x2" true (w.(0) <> w.(1))
+  | _ -> Alcotest.fail "expected SAT"
+
+let certificate_conjunction_unsat =
+  Test_util.qcheck ~count:80 "UNSAT certificate cofactors conjoin to 0"
+    QCheck2.Gen.(int_range 0 1_000_000)
+    (fun seed ->
+      let rand = Random.State.make [| seed |] in
+      let m = Aig.create () in
+      let xs = Array.to_list (Aig.add_inputs m 2) in
+      let ys = Array.to_list (Aig.add_inputs m 2) in
+      let pool = ref (xs @ ys) in
+      let pick () = List.nth !pool (Random.State.int rand (List.length !pool)) in
+      for _ = 1 to 12 do
+        let a = pick () and b = pick () in
+        let a = if Random.State.bool rand then Aig.not_ a else a in
+        pool := Aig.and_ m a b :: !pool
+      done;
+      let phi = pick () in
+      match solve m phi xs ys with
+      | Qbf.Qbf2.Sat w, _ ->
+        (* The witness must make phi true for all 4 y patterns. *)
+        List.for_all
+          (fun code ->
+            Aig.eval m [| w.(0); w.(1); code land 1 = 1; code land 2 = 2 |] phi)
+          (List.init 4 Fun.id)
+      | Qbf.Qbf2.Unsat cert, _ ->
+        (* For every x pattern some certificate cofactor is false. *)
+        List.for_all
+          (fun code ->
+            List.exists
+              (fun y -> not (Aig.eval m [| code land 1 = 1; code land 2 = 2; y.(0); y.(1) |] phi))
+              cert)
+          (List.init 4 Fun.id)
+      | Qbf.Qbf2.Unknown, _ -> false)
+
+let () =
+  Alcotest.run "qbf"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "equality is unsat" `Quick test_exists_wins_equality;
+          Alcotest.test_case "tautology" `Quick test_tautology;
+          Alcotest.test_case "witness correct" `Quick test_witness_correct;
+          Alcotest.test_case "two universals" `Quick test_two_universals;
+          Alcotest.test_case "multiple existentials" `Quick test_multi_exists;
+        ] );
+      ("property", [ certificate_conjunction_unsat ]);
+    ]

@@ -1,0 +1,192 @@
+(* Structural patches (§3.6) and CEGAR_min (§3.6.3). *)
+
+let n name gate fanins = { Netlist.name; gate; fanins = Array.of_list fanins }
+
+let two_target_instance () =
+  (* y1 = w1 | c, y2 = w2 & c; spec flips both target functions. *)
+  let impl =
+    Netlist.create
+      [
+        n "a" Netlist.Input [];
+        n "b" Netlist.Input [];
+        n "c" Netlist.Input [];
+        n "w1" Netlist.And [ "a"; "b" ];
+        n "w2" Netlist.Or [ "a"; "b" ];
+        n "y1" Netlist.Or [ "w1"; "c" ];
+        n "y2" Netlist.And [ "w2"; "c" ];
+      ]
+      ~outputs:[ "y1"; "y2" ]
+  in
+  let spec =
+    Netlist.create
+      [
+        n "a" Netlist.Input [];
+        n "b" Netlist.Input [];
+        n "c" Netlist.Input [];
+        n "w1" Netlist.Xor [ "a"; "b" ];
+        n "w2" Netlist.Nand [ "a"; "b" ];
+        n "y1" Netlist.Or [ "w1"; "c" ];
+        n "y2" Netlist.And [ "w2"; "c" ];
+      ]
+      ~outputs:[ "y1"; "y2" ]
+  in
+  let weights = Hashtbl.create 4 in
+  Eco.Instance.make ~name:"two" ~impl ~spec ~targets:[ "w1"; "w2" ] ~weights ()
+
+let test_full_certificate () =
+  Alcotest.(check int) "2^3 assignments" 8 (List.length (Eco.Structural.full_certificate 3));
+  let c = Eco.Structural.full_certificate 2 in
+  Alcotest.(check bool) "all distinct" true (List.length (List.sort_uniq compare c) = 4);
+  Alcotest.(check int) "copies" 4 (Eco.Structural.copies_used ~certificate:c)
+
+let test_single_target_structural () =
+  let inst = two_target_instance () in
+  (* Reduce to one target by choosing a single-target instance instead. *)
+  let impl = inst.Eco.Instance.impl in
+  let spec = inst.Eco.Instance.spec in
+  let weights = Hashtbl.create 4 in
+  let single =
+    Eco.Instance.make ~name:"single" ~impl ~spec:
+      (Netlist.create
+         (List.map
+            (fun nd -> if nd.Netlist.name = "w2" then { nd with Netlist.gate = Netlist.Or } else nd)
+            (Netlist.nodes spec))
+         ~outputs:(Netlist.outputs spec))
+      ~targets:[ "w1" ] ~weights ()
+  in
+  let window = Eco.Window.compute single in
+  let miter = Eco.Miter.build single window in
+  let patch = Eco.Structural.single_target miter ~target:"w1" ~window in
+  (* Patch must be in terms of primary inputs. *)
+  List.iter
+    (fun (nm, _) ->
+      Alcotest.(check bool) "support is a PI" true (List.mem nm (Netlist.inputs impl)))
+    patch.Eco.Patch.support;
+  (* Insert and verify. *)
+  match Eco.Verify.check single [ patch ] with
+  | Cec.Equivalent -> ()
+  | _ -> Alcotest.fail "structural single-target patch must verify"
+
+let test_multi_target_structural_full_cert () =
+  let inst = two_target_instance () in
+  let window = Eco.Window.compute inst in
+  let miter = Eco.Miter.build inst window in
+  let cert = Eco.Structural.full_certificate 2 in
+  let patches = Eco.Structural.multi_target miter ~certificate:cert ~window in
+  Alcotest.(check int) "two patches" 2 (List.length patches);
+  match Eco.Verify.check inst patches with
+  | Cec.Equivalent -> ()
+  | _ -> Alcotest.fail "structural multi-target patches must verify"
+
+let test_multi_target_with_qbf_certificate () =
+  let inst = two_target_instance () in
+  let window = Eco.Window.compute inst in
+  let miter = Eco.Miter.build inst window in
+  let answer, _ =
+    Qbf.Qbf2.solve miter.Eco.Miter.mgr ~phi:miter.Eco.Miter.miter_lit
+      ~exists_inputs:(Eco.Miter.x_lits miter)
+      ~forall_inputs:(List.map snd miter.Eco.Miter.targets)
+  in
+  match answer with
+  | Qbf.Qbf2.Unsat cert ->
+    Alcotest.(check bool) "certificate smaller than full enumeration" true
+      (List.length cert <= 4);
+    let patches = Eco.Structural.multi_target miter ~certificate:cert ~window in
+    (match Eco.Verify.check inst patches with
+    | Cec.Equivalent -> ()
+    | _ -> Alcotest.fail "QBF-certificate patches must verify")
+  | _ -> Alcotest.fail "feasible instance: expected UNSAT"
+
+let test_cegar_min_improves () =
+  (* The implementation contains a cheap internal signal equivalent to a
+     chunk of the structural patch; CEGAR_min should cut there. *)
+  let impl =
+    Netlist.create
+      [
+        n "a" Netlist.Input [];
+        n "b" Netlist.Input [];
+        n "c" Netlist.Input [];
+        n "axb" Netlist.Xor [ "a"; "b" ];
+        n "keep" Netlist.Buf [ "axb" ];
+        n "w" Netlist.And [ "a"; "b" ];
+        n "y" Netlist.Or [ "w"; "c" ];
+        n "y2" Netlist.Buf [ "keep" ];
+      ]
+      ~outputs:[ "y"; "y2" ]
+  in
+  let spec =
+    Netlist.create
+      [
+        n "a" Netlist.Input [];
+        n "b" Netlist.Input [];
+        n "c" Netlist.Input [];
+        n "axb" Netlist.Xor [ "a"; "b" ];
+        n "keep" Netlist.Buf [ "axb" ];
+        n "w" Netlist.Xor [ "a"; "b" ];
+        n "y" Netlist.Or [ "w"; "c" ];
+        n "y2" Netlist.Buf [ "keep" ];
+      ]
+      ~outputs:[ "y"; "y2" ]
+  in
+  let weights = Hashtbl.create 8 in
+  List.iter
+    (fun (k, v) -> Hashtbl.replace weights k v)
+    [ ("a", 40); ("b", 40); ("c", 40); ("axb", 1) ];
+  let inst = Eco.Instance.make ~name:"cegar" ~impl ~spec ~targets:[ "w" ] ~weights () in
+  let window = Eco.Window.compute inst in
+  let miter = Eco.Miter.build inst window in
+  let patch = Eco.Structural.single_target miter ~target:"w" ~window in
+  let cost_before = Eco.Patch.cost patch in
+  let improved, stats = Eco.Cegar_min.improve miter patch in
+  Alcotest.(check bool) "confirmed equivalences" true (stats.Eco.Cegar_min.confirmed > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "cost improves: %d -> %d" cost_before (Eco.Patch.cost improved))
+    true
+    (Eco.Patch.cost improved < cost_before);
+  (* The improved patch still verifies. *)
+  match Eco.Verify.check inst [ improved ] with
+  | Cec.Equivalent -> ()
+  | _ -> Alcotest.fail "improved patch must verify"
+
+let test_cegar_min_never_worsens () =
+  List.iter
+    (fun seed ->
+      let impl = Gen.Circuits.random_dag ~seed ~inputs:5 ~gates:25 ~outputs:3 () in
+      match
+        Gen.Mutate.make_instance ~name:"nw" ~style:(Gen.Mutate.New_cone 3)
+          ~dist:Netlist.Weights.T1 ~seed ~n_targets:1 impl
+      with
+      | exception Failure _ -> ()
+      | inst ->
+        let window = Eco.Window.compute inst in
+        let miter = Eco.Miter.build inst window in
+        let target = List.hd inst.Eco.Instance.targets in
+        let patch = Eco.Structural.single_target miter ~target ~window in
+        let improved, _ = Eco.Cegar_min.improve miter patch in
+        if Eco.Patch.cost improved > Eco.Patch.cost patch then
+          Alcotest.failf "seed %d: cegar_min worsened %d -> %d" seed (Eco.Patch.cost patch)
+            (Eco.Patch.cost improved);
+        (* And must still verify. *)
+        (match Eco.Verify.check inst [ improved ] with
+        | Cec.Equivalent -> ()
+        | _ -> Alcotest.failf "seed %d: improved patch broken" seed))
+    [ 31; 32; 33; 34 ]
+
+let () =
+  Alcotest.run "structural"
+    [
+      ( "structural",
+        [
+          Alcotest.test_case "full certificate" `Quick test_full_certificate;
+          Alcotest.test_case "single target" `Quick test_single_target_structural;
+          Alcotest.test_case "multi target, full certificate" `Quick
+            test_multi_target_structural_full_cert;
+          Alcotest.test_case "multi target, qbf certificate" `Quick
+            test_multi_target_with_qbf_certificate;
+        ] );
+      ( "cegar_min",
+        [
+          Alcotest.test_case "improves with cheap equivalent" `Quick test_cegar_min_improves;
+          Alcotest.test_case "never worsens" `Slow test_cegar_min_never_worsens;
+        ] );
+    ]

@@ -1,0 +1,204 @@
+(* Cubes, SOP covers, algebraic factoring. *)
+
+let gen_cube n rand =
+  let lits =
+    List.filter_map
+      (fun v ->
+        match Random.State.int rand 3 with
+        | 0 -> Some (v, true)
+        | 1 -> Some (v, false)
+        | _ -> None)
+      (List.init n Fun.id)
+  in
+  Twolevel.Cube.of_literals n lits
+
+let gen_sop n n_cubes rand =
+  Twolevel.Sop.create n (List.init n_cubes (fun _ -> gen_cube n rand))
+
+let test_cube_basics () =
+  let c = Twolevel.Cube.of_literals 5 [ (0, true); (3, false) ] in
+  Alcotest.(check int) "nvars" 5 (Twolevel.Cube.nvars c);
+  Alcotest.(check int) "literal count" 2 (Twolevel.Cube.num_literals c);
+  Alcotest.(check bool) "x0 positive" true (Twolevel.Cube.literal c 0 = Some true);
+  Alcotest.(check bool) "x3 negative" true (Twolevel.Cube.literal c 3 = Some false);
+  Alcotest.(check bool) "x1 absent" true (Twolevel.Cube.literal c 1 = None);
+  Alcotest.(check string) "printing" "x0 !x3" (Twolevel.Cube.to_string c);
+  let c' = Twolevel.Cube.drop c 3 in
+  Alcotest.(check int) "after drop" 1 (Twolevel.Cube.num_literals c');
+  Alcotest.(check bool) "drop leaves original" true (Twolevel.Cube.literal c 3 = Some false);
+  let c'' = Twolevel.Cube.set c 1 true in
+  Alcotest.(check bool) "set adds" true (Twolevel.Cube.literal c'' 1 = Some true)
+
+let test_cube_contradiction () =
+  Alcotest.check_raises "contradictory literals"
+    (Invalid_argument "Cube.of_literals: contradictory literals") (fun () ->
+      ignore (Twolevel.Cube.of_literals 3 [ (1, true); (1, false) ]))
+
+let test_cube_eval () =
+  let c = Twolevel.Cube.of_literals 3 [ (0, true); (2, false) ] in
+  Alcotest.(check bool) "101 no" false (Twolevel.Cube.eval c [| true; false; true |]);
+  Alcotest.(check bool) "100 yes" true (Twolevel.Cube.eval c [| true; false; false |]);
+  Alcotest.(check bool) "110 yes" true (Twolevel.Cube.eval c [| true; true; false |]);
+  let full = Twolevel.Cube.full 3 in
+  Alcotest.(check bool) "tautology" true (Twolevel.Cube.eval full [| false; true; false |])
+
+let containment_matches_semantics =
+  Test_util.qcheck ~count:300 "containment = pointwise implication"
+    QCheck2.Gen.(int_range 0 1_000_000)
+    (fun seed ->
+      let rand = Random.State.make [| seed |] in
+      let n = 5 in
+      let c1 = gen_cube n rand and c2 = gen_cube n rand in
+      let semantic =
+        List.for_all
+          (fun code ->
+            let bits = Array.init n (fun i -> (code lsr i) land 1 = 1) in
+            (not (Twolevel.Cube.eval c2 bits)) || Twolevel.Cube.eval c1 bits)
+          (List.init (1 lsl n) Fun.id)
+      in
+      (* The syntactic literal-subset check is exact for (satisfiable)
+         cubes. *)
+      Twolevel.Cube.contains c1 c2 = semantic)
+
+let disjoint_matches_semantics =
+  Test_util.qcheck ~count:300 "disjointness = empty intersection"
+    QCheck2.Gen.(int_range 0 1_000_000)
+    (fun seed ->
+      let rand = Random.State.make [| seed |] in
+      let n = 5 in
+      let c1 = gen_cube n rand and c2 = gen_cube n rand in
+      let semantic =
+        not
+          (List.exists
+             (fun code ->
+               let bits = Array.init n (fun i -> (code lsr i) land 1 = 1) in
+               Twolevel.Cube.eval c1 bits && Twolevel.Cube.eval c2 bits)
+             (List.init (1 lsl n) Fun.id))
+      in
+      Twolevel.Cube.disjoint c1 c2 = semantic)
+
+let intersect_matches_semantics =
+  Test_util.qcheck ~count:300 "intersection evaluates as conjunction"
+    QCheck2.Gen.(int_range 0 1_000_000)
+    (fun seed ->
+      let rand = Random.State.make [| seed |] in
+      let n = 5 in
+      let c1 = gen_cube n rand and c2 = gen_cube n rand in
+      match Twolevel.Cube.intersect c1 c2 with
+      | None -> Twolevel.Cube.disjoint c1 c2
+      | Some c ->
+        List.for_all
+          (fun code ->
+            let bits = Array.init n (fun i -> (code lsr i) land 1 = 1) in
+            Twolevel.Cube.eval c bits
+            = (Twolevel.Cube.eval c1 bits && Twolevel.Cube.eval c2 bits))
+          (List.init (1 lsl n) Fun.id))
+
+let scc_preserves_function =
+  Test_util.qcheck ~count:200 "SCC minimization preserves the function"
+    QCheck2.Gen.(int_range 0 1_000_000)
+    (fun seed ->
+      let rand = Random.State.make [| seed |] in
+      let sop = gen_sop 5 (1 + Random.State.int rand 8) rand in
+      let min = Twolevel.Sop.scc_minimize sop in
+      Twolevel.Sop.num_cubes min <= Twolevel.Sop.num_cubes sop
+      && Twolevel.Sop.equal_semantic sop min)
+
+let scc_removes_contained =
+  Test_util.qcheck ~count:200 "SCC output has no contained cube pair"
+    QCheck2.Gen.(int_range 0 1_000_000)
+    (fun seed ->
+      let rand = Random.State.make [| seed |] in
+      let sop = gen_sop 5 (1 + Random.State.int rand 8) rand in
+      let min = Twolevel.Sop.scc_minimize sop in
+      let cubes = Twolevel.Sop.cubes min in
+      List.for_all
+        (fun c ->
+          List.for_all
+            (fun c' -> Twolevel.Cube.equal c c' || not (Twolevel.Cube.contains c' c))
+            cubes)
+        cubes)
+
+let factor_preserves_function =
+  Test_util.qcheck ~count:200 "factored expression = SOP function"
+    QCheck2.Gen.(int_range 0 1_000_000)
+    (fun seed ->
+      let rand = Random.State.make [| seed |] in
+      let n = 5 in
+      let sop = gen_sop n (1 + Random.State.int rand 8) rand in
+      let expr = Twolevel.Factor.factor sop in
+      List.for_all
+        (fun code ->
+          let bits = Array.init n (fun i -> (code lsr i) land 1 = 1) in
+          Twolevel.Factor.eval_expr expr bits = Twolevel.Sop.eval sop bits)
+        (List.init (1 lsl n) Fun.id))
+
+let factor_reduces_literals =
+  Test_util.qcheck ~count:200 "factoring never increases literal count"
+    QCheck2.Gen.(int_range 0 1_000_000)
+    (fun seed ->
+      let rand = Random.State.make [| seed |] in
+      let sop = gen_sop 6 (2 + Random.State.int rand 8) rand in
+      let expr = Twolevel.Factor.factor sop in
+      Twolevel.Factor.expr_literal_count expr <= Twolevel.Sop.num_literals sop)
+
+let synthesize_matches =
+  Test_util.qcheck ~count:150 "synthesized AIG computes the SOP"
+    QCheck2.Gen.(int_range 0 1_000_000)
+    (fun seed ->
+      let rand = Random.State.make [| seed |] in
+      let n = 4 in
+      let sop = gen_sop n (1 + Random.State.int rand 6) rand in
+      let m, out = Twolevel.Factor.synthesize sop in
+      List.for_all
+        (fun code ->
+          let bits = Array.init n (fun i -> (code lsr i) land 1 = 1) in
+          Aig.eval m bits out = Twolevel.Sop.eval sop bits)
+        (List.init (1 lsl n) Fun.id))
+
+let test_sop_corner_cases () =
+  let z = Twolevel.Sop.zero 3 in
+  Alcotest.(check bool) "zero is zero" true (Twolevel.Sop.is_zero z);
+  Alcotest.(check bool) "zero evals false" false (Twolevel.Sop.eval z [| true; true; true |]);
+  Alcotest.(check string) "zero prints" "0" (Twolevel.Sop.to_string z);
+  let o = Twolevel.Sop.one 3 in
+  Alcotest.(check bool) "one is one" true (Twolevel.Sop.is_one o);
+  Alcotest.(check bool) "one evals true" true (Twolevel.Sop.eval o [| false; false; false |]);
+  Alcotest.(check bool) "factor zero" true (Twolevel.Factor.factor z = Twolevel.Factor.Const false);
+  Alcotest.(check bool) "factor one" true (Twolevel.Factor.factor o = Twolevel.Factor.Const true)
+
+let test_factor_shares_literal () =
+  (* ab + ac factors as a(b + c): 3 literals instead of 4. *)
+  let sop =
+    Twolevel.Sop.create 3
+      [
+        Twolevel.Cube.of_literals 3 [ (0, true); (1, true) ];
+        Twolevel.Cube.of_literals 3 [ (0, true); (2, true) ];
+      ]
+  in
+  let expr = Twolevel.Factor.factor sop in
+  Alcotest.(check int) "3 literals" 3 (Twolevel.Factor.expr_literal_count expr)
+
+let () =
+  Alcotest.run "twolevel"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "cube basics" `Quick test_cube_basics;
+          Alcotest.test_case "cube contradiction" `Quick test_cube_contradiction;
+          Alcotest.test_case "cube eval" `Quick test_cube_eval;
+          Alcotest.test_case "sop corner cases" `Quick test_sop_corner_cases;
+          Alcotest.test_case "factor shares literal" `Quick test_factor_shares_literal;
+        ] );
+      ( "property",
+        [
+          containment_matches_semantics;
+          disjoint_matches_semantics;
+          intersect_matches_semantics;
+          scc_preserves_function;
+          scc_removes_contained;
+          factor_preserves_function;
+          factor_reduces_literals;
+          synthesize_matches;
+        ] );
+    ]
