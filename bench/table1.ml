@@ -12,6 +12,8 @@ type row = {
   gates_spec : int;
   n_targets : int;
   results : (int * int * float) option array; (* cost, patch gates, seconds *)
+  counters : Telemetry.snapshot array;
+      (* per-method solver-effort counter deltas (sat.*, eco.*, qbf.*, ...) *)
 }
 
 let methods = [| Eco.Engine.Baseline; Eco.Engine.Min_assume; Eco.Engine.Exact |]
@@ -28,9 +30,10 @@ let config_for (spec : Gen.Suite.unit_spec) method_ =
 
 let run_unit ?(progress = true) (spec : Gen.Suite.unit_spec) =
   let inst = Gen.Suite.instantiate spec in
+  let counters = Array.make (Array.length methods) [] in
   let results =
-    Array.map
-      (fun m ->
+    Array.mapi
+      (fun mi m ->
         if progress then
           Printf.eprintf "  %s / %s...\n%!" spec.Gen.Suite.u_name
             (match m with
@@ -38,13 +41,18 @@ let run_unit ?(progress = true) (spec : Gen.Suite.unit_spec) =
             | Eco.Engine.Min_assume -> "min_assume"
             | Eco.Engine.Exact -> "exact");
         let config = config_for spec m in
-        match Eco.Engine.solve ~config inst with
-        | { Eco.Engine.status = Eco.Engine.Solved; cost; gates; time; _ } ->
-          Some (cost, gates, time)
-        | _ -> None
-        | exception e ->
-          Printf.eprintf "  %s: %s\n%!" spec.Gen.Suite.u_name (Printexc.to_string e);
-          None)
+        let before = Telemetry.snapshot () in
+        let outcome =
+          match Eco.Engine.solve ~config inst with
+          | { Eco.Engine.status = Eco.Engine.Solved; cost; gates; time; _ } ->
+            Some (cost, gates, time)
+          | _ -> None
+          | exception e ->
+            Printf.eprintf "  %s: %s\n%!" spec.Gen.Suite.u_name (Printexc.to_string e);
+            None
+        in
+        counters.(mi) <- Telemetry.diff before (Telemetry.snapshot ());
+        outcome)
       methods
   in
   {
@@ -55,6 +63,7 @@ let run_unit ?(progress = true) (spec : Gen.Suite.unit_spec) =
     gates_spec = Netlist.num_gates inst.Eco.Instance.spec;
     n_targets = List.length inst.Eco.Instance.targets;
     results;
+    counters;
   }
 
 let geomean l =
@@ -103,8 +112,45 @@ let print_rows rows =
     methods;
   print_newline ()
 
-let run ?(units = Gen.Suite.all) () =
+(* Machine-readable companion of the printed table: one JSON record per
+   unit x configuration with the outcome triple plus the telemetry counter
+   deltas of that run, so solver-effort metrics (SAT calls, conflicts,
+   propagations, cube counts, QBF iterations) regress alongside time. *)
+let method_keys = [| "baseline"; "min_assume"; "exact" |]
+
+let write_json path rows =
+  let oc = open_out path in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\"bench\":\"table1\",\"rows\":[";
+  let first = ref true in
+  List.iter
+    (fun r ->
+      Array.iteri
+        (fun mi _ ->
+          if not !first then out ",";
+          first := false;
+          out "\n{\"unit\":\"%s\",\"method\":\"%s\",\"pis\":%d,\"pos\":%d,\"gates_impl\":%d,"
+            (Telemetry.Json.escape r.unit_name)
+            method_keys.(mi) r.pis r.pos r.gates_impl;
+          out "\"gates_spec\":%d,\"targets\":%d," r.gates_spec r.n_targets;
+          (match r.results.(mi) with
+          | Some (cost, gates, time) ->
+            out "\"solved\":true,\"cost\":%d,\"gates\":%d,\"time\":%.6f," cost gates time
+          | None -> out "\"solved\":false,");
+          out "\"counters\":{%s}}"
+            (String.concat ","
+               (List.map
+                  (fun (n, v) -> Printf.sprintf "\"%s\":%d" (Telemetry.Json.escape n) v)
+                  r.counters.(mi))))
+        methods)
+    rows;
+  out "\n]}\n";
+  close_out oc;
+  Printf.printf "telemetry JSON written to %s\n" path
+
+let run ?(units = Gen.Suite.all) ?(json = "BENCH_table1.json") () =
   Printf.printf "\n=== Table 1: ICCAD'17-style suite, three configurations ===\n";
   let rows = List.map run_unit units in
   print_rows rows;
+  write_json json rows;
   rows

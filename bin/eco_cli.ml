@@ -29,13 +29,16 @@ let method_conv =
 
 let solve_cmd =
   let impl_file =
-    Arg.(required & opt (some file) None & info [ "impl" ] ~docv:"FILE" ~doc:"Implementation netlist (structural Verilog).")
+    Arg.(value & opt (some file) None & info [ "impl" ] ~docv:"FILE" ~doc:"Implementation netlist (structural Verilog).")
   in
   let spec_file =
-    Arg.(required & opt (some file) None & info [ "spec" ] ~docv:"FILE" ~doc:"Specification netlist (structural Verilog).")
+    Arg.(value & opt (some file) None & info [ "spec" ] ~docv:"FILE" ~doc:"Specification netlist (structural Verilog).")
   in
   let targets =
-    Arg.(non_empty & opt_all string [] & info [ "target"; "t" ] ~docv:"SIGNAL" ~doc:"Target signal (repeatable).")
+    Arg.(value & opt_all string [] & info [ "target"; "t" ] ~docv:"SIGNAL" ~doc:"Target signal (repeatable).")
+  in
+  let unit_name =
+    Arg.(value & opt (some string) None & info [ "unit"; "u" ] ~docv:"UNIT" ~doc:"Solve a built-in benchmark unit (unit1 .. unit20) instead of $(b,--impl)/$(b,--spec) files.")
   in
   let weights =
     Arg.(value & opt (some file) None & info [ "weights" ] ~docv:"FILE" ~doc:"Signal weight file (\"name weight\" lines; default weight 1).")
@@ -52,10 +55,25 @@ let solve_cmd =
   let budget =
     Arg.(value & opt int 0 & info [ "budget" ] ~docv:"CONFLICTS" ~doc:"Conflict budget per SAT call (0 = library default).")
   in
-  let run impl_file spec_file targets weights method_ structural out budget =
+  let stats =
+    Arg.(value & flag & info [ "stats" ] ~doc:"Print telemetry after solving: per-phase wall-clock timers and the SAT/ECO counter table.")
+  in
+  let trace =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc:"Stream structured trace events (JSON Lines) to $(docv) while solving.")
+  in
+  let run impl_file spec_file targets unit_name weights method_ structural out budget stats trace
+      =
     try
       let instance =
-        Eco.Instance.load ~impl_file ~spec_file ~targets ~weight_file:weights ()
+        match (unit_name, impl_file, spec_file) with
+        | Some u, None, None -> (
+          match Gen.Suite.find u with
+          | exception Not_found -> failwith (Printf.sprintf "unknown unit %S" u)
+          | spec -> Gen.Suite.instantiate spec)
+        | None, Some impl_file, Some spec_file ->
+          if targets = [] then failwith "--target required with --impl/--spec";
+          Eco.Instance.load ~impl_file ~spec_file ~targets ~weight_file:weights ()
+        | _ -> failwith "pass either --unit or both --impl and --spec"
       in
       let config = Eco.Engine.config_of_method method_ in
       let config = { config with Eco.Engine.force_structural = structural } in
@@ -64,6 +82,7 @@ let solve_cmd =
           { config with Eco.Engine.sat_budget = budget; feasibility_budget = budget }
         else config
       in
+      (match trace with Some path -> Telemetry.sink_to_file path | None -> ());
       let outcome = Eco.Engine.solve ~config instance in
       Format.printf "%a@." Eco.Engine.pp_outcome outcome;
       List.iter (fun p -> Format.printf "  %a@." Eco.Patch.pp p) outcome.Eco.Engine.patches;
@@ -73,14 +92,22 @@ let solve_cmd =
         Netlist.Verilog.write_file path ~name:"patched" patched;
         Format.printf "patched netlist written to %s@." path
       | _ -> ());
+      if trace <> None then begin
+        (* Close with a summary line so a trace is self-contained. *)
+        Telemetry.event "summary"
+          ~fields:
+            (List.map (fun (n, v) -> (n, Telemetry.Value.Int v)) (Telemetry.snapshot ()));
+        Telemetry.close_sink ()
+      end;
+      if stats then Format.printf "%a@." Telemetry.pp_summary ();
       match outcome.Eco.Engine.status with Eco.Engine.Solved -> Ok () | _ -> Error (`Msg "no patch")
-    with Failure msg -> Error (`Msg msg)
+    with Failure msg | Sys_error msg -> Error (`Msg msg)
   in
   let term =
     Term.(
       term_result
-        (const run $ impl_file $ spec_file $ targets $ weights $ method_ $ structural $ out
-       $ budget))
+        (const run $ impl_file $ spec_file $ targets $ unit_name $ weights $ method_ $ structural
+       $ out $ budget $ stats $ trace))
   in
   Cmd.v (Cmd.info "solve" ~doc:"Compute ECO patch functions for the given targets.") term
 

@@ -1,5 +1,19 @@
 type verdict = Equivalent | Counterexample of bool array | Undecided
 
+let tc_checks = Telemetry.Counter.make "cec.checks"
+let tc_equivalent = Telemetry.Counter.make "cec.equivalent"
+let tc_cex = Telemetry.Counter.make "cec.counterexamples"
+let tc_undecided = Telemetry.Counter.make "cec.undecided"
+let tc_sim_cex = Telemetry.Counter.make "cec.sim_counterexamples"
+
+let count_verdict v =
+  Telemetry.Counter.incr tc_checks;
+  (match v with
+  | Equivalent -> Telemetry.Counter.incr tc_equivalent
+  | Counterexample _ -> Telemetry.Counter.incr tc_cex
+  | Undecided -> Telemetry.Counter.incr tc_undecided);
+  v
+
 let build_miter a b =
   if Aig.num_inputs a <> Aig.num_inputs b then invalid_arg "Cec.build_miter: input arity";
   if Aig.num_outputs a <> Aig.num_outputs b then invalid_arg "Cec.build_miter: output arity";
@@ -17,6 +31,9 @@ let build_miter a b =
   (m, miter)
 
 let check_lit ?(budget = 0) m l =
+  Telemetry.with_phase "cec" @@ fun () ->
+  count_verdict
+  @@
   if l = Aig.false_ then Equivalent
   else begin
     let solver = Sat.Solver.create () in
@@ -71,5 +88,9 @@ let find_counterexample_by_simulation ?(rounds = 32) ?(seed = 0x5eed) m lit =
 let check ?(budget = 0) ?(sim_rounds = 32) ?(seed = 0x5eed) a b =
   let m, miter = build_miter a b in
   match find_sim_cex ~sim_rounds ~seed m miter with
-  | Some cex -> Counterexample cex
+  | Some cex ->
+    Telemetry.Counter.incr tc_sim_cex;
+    Telemetry.Counter.incr tc_checks;
+    Telemetry.Counter.incr tc_cex;
+    Counterexample cex
   | None -> check_lit ~budget m miter

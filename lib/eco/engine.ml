@@ -64,7 +64,17 @@ type feasibility =
   | Not_feasible
   | Feasibility_unknown
 
+let tc_runs = Telemetry.Counter.make "eco.runs"
+let tc_solved = Telemetry.Counter.make "eco.solved"
+let tc_infeasible = Telemetry.Counter.make "eco.infeasible"
+let tc_failed = Telemetry.Counter.make "eco.failed"
+let tc_targets = Telemetry.Counter.make "eco.targets_patched"
+let tc_structural = Telemetry.Counter.make "eco.structural_patches"
+let tc_cubes = Telemetry.Counter.make "eco.cubes_enumerated"
+let tc_sat_calls = Telemetry.Counter.make "eco.sat_calls"
+
 let check_feasibility config (miter : Miter.t) notes =
+  Telemetry.with_phase "feasibility" @@ fun () ->
   let targets = Miter.remaining_targets miter in
   if config.use_qbf || List.length targets > 10 then begin
     let answer, stats =
@@ -100,6 +110,7 @@ let sat_pipeline config (miter : Miter.t) notes sat_calls patches =
       let tc = Two_copy.build miter ~m_i ~target:name in
       let budget = config.sat_budget in
       let selection =
+        Telemetry.with_phase "support" @@ fun () ->
         match config.method_ with
         | Baseline -> Support.baseline ~budget tc
         | Min_assume -> Support.with_min_assume ~budget ~last_gasp:config.last_gasp tc
@@ -127,11 +138,24 @@ let sat_pipeline config (miter : Miter.t) notes sat_calls patches =
       | None -> raise (Step_infeasible name)
       | Some sel ->
         let pf =
+          Telemetry.with_phase "patch_fun" @@ fun () ->
           Patch_fun.compute ~budget ~max_cubes:config.max_cubes ~deadline:config.patch_deadline
             miter ~m_i ~target:name ~chosen:sel.Support.indices
         in
         sat_calls := !sat_calls + pf.Patch_fun.sat_calls;
         notes := ("cubes_" ^ name, pf.Patch_fun.cubes_enumerated) :: !notes;
+        Telemetry.Counter.incr tc_targets;
+        Telemetry.Counter.add tc_cubes pf.Patch_fun.cubes_enumerated;
+        Telemetry.event "eco.target"
+          ~fields:
+            [
+              ("target", Telemetry.Value.Str name);
+              ("support", Telemetry.Value.Int (List.length sel.Support.indices));
+              ("cost", Telemetry.Value.Int sel.Support.cost);
+              ("support_sat_calls", Telemetry.Value.Int sel.Support.sat_calls);
+              ("cubes", Telemetry.Value.Int pf.Patch_fun.cubes_enumerated);
+              ("patch_sat_calls", Telemetry.Value.Int pf.Patch_fun.sat_calls);
+            ];
         let support_lits =
           List.map (fun i -> miter.Miter.divisors.(i).Miter.div_lit) sel.Support.indices
         in
@@ -142,6 +166,7 @@ let sat_pipeline config (miter : Miter.t) notes sat_calls patches =
 
 (* Structural fallback (§3.6) for every remaining target. *)
 let structural_pipeline config (miter : Miter.t) window certificate notes =
+  Telemetry.with_phase "structural" @@ fun () ->
   let remaining = Miter.remaining_targets miter in
   let k = List.length remaining in
   let patches =
@@ -207,6 +232,7 @@ let structural_pipeline config (miter : Miter.t) window certificate notes =
   in
   List.map
     (fun p ->
+      Telemetry.Counter.incr tc_structural;
       let support_lits =
         List.map
           (fun (name, _) ->
@@ -226,6 +252,8 @@ let structural_pipeline config (miter : Miter.t) window certificate notes =
     patches
 
 let solve ?(config = default_config) inst =
+  Telemetry.with_phase "eco" @@ fun () ->
+  Telemetry.Counter.incr tc_runs;
   let t0 = Unix.gettimeofday () in
   let notes = ref [] in
   let sat_calls = ref 0 in
@@ -244,6 +272,7 @@ let solve ?(config = default_config) inst =
       | _ -> None
     in
     let verified =
+      Telemetry.with_phase "verify" @@ fun () ->
       match (status, config.verify, patches) with
       | Solved, true, _ :: _ -> (
         match miter_says () with
@@ -263,6 +292,29 @@ let solve ?(config = default_config) inst =
           | Cec.Undecided -> None))
       | _ -> None
     in
+    Telemetry.Counter.add tc_sat_calls !sat_calls;
+    (match status with
+    | Solved -> Telemetry.Counter.incr tc_solved
+    | Infeasible -> Telemetry.Counter.incr tc_infeasible
+    | Failed _ -> Telemetry.Counter.incr tc_failed);
+    Telemetry.event "eco.outcome"
+      ~fields:
+        [
+          ( "status",
+            Telemetry.Value.Str
+              (match status with
+              | Solved -> "solved"
+              | Infeasible -> "infeasible"
+              | Failed m -> "failed: " ^ m) );
+          ("patches", Telemetry.Value.Int (List.length patches));
+          ("cost", Telemetry.Value.Int (union_cost patches));
+          ("gates", Telemetry.Value.Int (total_gates patches));
+          ("sat_calls", Telemetry.Value.Int !sat_calls);
+          ("structural", Telemetry.Value.Bool used_structural);
+          ( "verified",
+            Telemetry.Value.Str
+              (match verified with Some true -> "yes" | Some false -> "no" | None -> "-") );
+        ];
     {
       status;
       patches;
@@ -276,8 +328,8 @@ let solve ?(config = default_config) inst =
     }
   in
   try
-    let window = Window.compute inst in
-    let miter = Miter.build inst window in
+    let window = Telemetry.with_phase "window" (fun () -> Window.compute inst) in
+    let miter = Telemetry.with_phase "miter" (fun () -> Miter.build inst window) in
     if config.force_structural then begin
       let patches = structural_pipeline config miter window None notes in
       finish ~miter Solved patches true

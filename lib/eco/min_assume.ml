@@ -4,6 +4,9 @@ let create_stats () = { solver_calls = 0 }
 
 exception Budget_exhausted
 
+let tc_minimize = Telemetry.Counter.make "min_assume.minimize_calls"
+let tc_oracle = Telemetry.Counter.make "min_assume.oracle_calls"
+
 let split_half l =
   let n = List.length l in
   let k = (n + 1) / 2 in
@@ -14,8 +17,10 @@ let split_half l =
   go 0 [] l
 
 let minimize ?stats ~unsat ~base a =
+  Telemetry.Counter.incr tc_minimize;
   let check subset =
     (match stats with Some s -> s.solver_calls <- s.solver_calls + 1 | None -> ());
+    Telemetry.Counter.incr tc_oracle;
     unsat subset
   in
   let rec go base a =

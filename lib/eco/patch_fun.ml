@@ -4,6 +4,10 @@ type result = {
   sat_calls : int;
 }
 
+let tc_runs = Telemetry.Counter.make "patch_fun.runs"
+let tc_cubes = Telemetry.Counter.make "patch_fun.cubes"
+let tc_sat_calls = Telemetry.Counter.make "patch_fun.sat_calls"
+
 let compute ?(budget = 0) ?(max_cubes = 50_000) ?(deadline = 0.0) (miter : Miter.t) ~m_i ~target
     ~chosen =
   let stop_at = if deadline > 0.0 then Unix.gettimeofday () +. deadline else 0.0 in
@@ -81,4 +85,7 @@ let compute ?(budget = 0) ?(max_cubes = 50_000) ?(deadline = 0.0) (miter : Miter
   in
   let expr = Twolevel.Factor.factor sop in
   let patch = Patch.of_expr ~sop ~target ~support expr in
+  Telemetry.Counter.incr tc_runs;
+  Telemetry.Counter.add tc_cubes !n_cubes;
+  Telemetry.Counter.add tc_sat_calls (Sat.Solver.n_solve_calls solver);
   { patch; cubes_enumerated = !n_cubes; sat_calls = Sat.Solver.n_solve_calls solver }

@@ -1,5 +1,15 @@
 type selection = { indices : int list; cost : int; sat_calls : int }
 
+let tc_selections = Telemetry.Counter.make "support.selections"
+let tc_sat_calls = Telemetry.Counter.make "support.sat_calls"
+
+let count_selection = function
+  | Some sel as s ->
+    Telemetry.Counter.incr tc_selections;
+    Telemetry.Counter.add tc_sat_calls sel.sat_calls;
+    s
+  | None -> None
+
 let cost_of tc indices =
   List.fold_left (fun acc i -> acc + (Two_copy.divisor tc i).Miter.div_cost) 0 indices
 
@@ -13,6 +23,8 @@ let index_of_selector tc l =
 let all_selectors tc = List.init (Two_copy.n_divisors tc) (Two_copy.selector tc)
 
 let baseline ?budget tc =
+  count_selection
+  @@
   let calls0 = Two_copy.solver_calls tc in
   match Two_copy.solve_with ?budget tc (all_selectors tc) with
   | Sat.Solver.Sat -> None
@@ -57,6 +69,8 @@ let last_gasp_swap ?budget ~swap_tries tc indices =
   !chosen
 
 let with_min_assume ?budget ?(last_gasp = true) ?(swap_tries = 16) ?(over_core = true) tc =
+  count_selection
+  @@
   let calls0 = Two_copy.solver_calls tc in
   match Two_copy.solve_with ?budget tc (all_selectors tc) with
   | Sat.Solver.Sat -> None

@@ -14,7 +14,13 @@ let cofactor_on mgr phi vars values =
     vars;
   !l
 
+let tc_solves = Telemetry.Counter.make "qbf.solves"
+let tc_iterations = Telemetry.Counter.make "qbf.iterations"
+let tc_cex = Telemetry.Counter.make "qbf.counterexamples"
+
 let solve ?(max_iterations = 10_000) ?(budget = 0) mgr ~phi ~exists_inputs ~forall_inputs =
+  Telemetry.with_phase "qbf" @@ fun () ->
+  Telemetry.Counter.incr tc_solves;
   let n_e = List.length exists_inputs and n_f = List.length forall_inputs in
   let e_arr = Array.of_list exists_inputs and f_arr = Array.of_list forall_inputs in
   (* Synthesis solver: accumulates phi(X, y_j) for collected counterexamples. *)
@@ -54,6 +60,7 @@ let solve ?(max_iterations = 10_000) ?(budget = 0) mgr ~phi ~exists_inputs ~fora
       | Sat.Solver.Unsat -> result := Some (Sat x_star)
       | Sat.Solver.Sat ->
         let y_star = Array.init n_f (fun i -> Sat.Solver.value verif f_sat_verif.(i)) in
+        Telemetry.Counter.incr tc_cex;
         cexs := y_star :: !cexs;
         (* Refine: the candidate must satisfy phi under this counterexample. *)
         let constr = cofactor_on mgr phi (Array.to_list f_arr) y_star in
@@ -61,6 +68,19 @@ let solve ?(max_iterations = 10_000) ?(budget = 0) mgr ~phi ~exists_inputs ~fora
         Sat.Solver.add_clause synth [ cl ])
   done;
   let answer = match !result with Some a -> a | None -> Unknown in
+  Telemetry.Counter.add tc_iterations !iterations;
+  Telemetry.event "qbf.solve"
+    ~fields:
+      [
+        ( "answer",
+          Telemetry.Value.Str
+            (match answer with Sat _ -> "sat" | Unsat _ -> "unsat" | Unknown -> "unknown") );
+        ("iterations", Telemetry.Value.Int !iterations);
+        ("exists", Telemetry.Value.Int n_e);
+        ("forall", Telemetry.Value.Int n_f);
+        ("synth_conflicts", Telemetry.Value.Int (Sat.Solver.n_conflicts synth));
+        ("verif_conflicts", Telemetry.Value.Int (Sat.Solver.n_conflicts verif));
+      ];
   ( answer,
     {
       iterations = !iterations;

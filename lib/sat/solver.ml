@@ -46,6 +46,11 @@ type t = {
   mutable decisions : int;
   mutable propagations : int;
   mutable solves : int;
+  mutable restarts : int;
+  mutable learned : int;
+  mutable learned_lits : int;
+  mutable lbd_sum : int;
+  mutable deleted_learnts : int;
   analyze_stack : int Vec.t;
   analyze_clear : int Vec.t;
   out_learnt : int Vec.t;
@@ -58,6 +63,20 @@ type t = {
 let var_decay = 0.95
 let clause_decay = 0.999
 let restart_first = 100
+
+(* Global telemetry: cumulative solver-effort counters across all solver
+   instances, plus a per-[solve] trace event.  Deterministic for a fixed
+   clause/assumption stream (no clock input). *)
+let tc_solves = Telemetry.Counter.make "sat.solves"
+let tc_conflicts = Telemetry.Counter.make "sat.conflicts"
+let tc_decisions = Telemetry.Counter.make "sat.decisions"
+let tc_propagations = Telemetry.Counter.make "sat.propagations"
+let tc_restarts = Telemetry.Counter.make "sat.restarts"
+let tc_learned = Telemetry.Counter.make "sat.learned_clauses"
+let tc_deleted = Telemetry.Counter.make "sat.deleted_clauses"
+let tc_sat = Telemetry.Counter.make "sat.result.sat"
+let tc_unsat = Telemetry.Counter.make "sat.result.unsat"
+let tc_unknown = Telemetry.Counter.make "sat.result.unknown"
 
 let create ?(proof = false) () =
   let activity = ref (Array.make 16 0.0) in
@@ -90,6 +109,11 @@ let create ?(proof = false) () =
     decisions = 0;
     propagations = 0;
     solves = 0;
+    restarts = 0;
+    learned = 0;
+    learned_lits = 0;
+    lbd_sum = 0;
+    deleted_learnts = 0;
     analyze_stack = Vec.create ~dummy:(-1) ();
     analyze_clear = Vec.create ~dummy:(-1) ();
     out_learnt = Vec.create ~dummy:(-1) ();
@@ -508,6 +532,9 @@ let analyze_final t p =
   List.sort_uniq Int.compare !out
 
 let attach_learnt t lits =
+  t.learned <- t.learned + 1;
+  t.learned_lits <- t.learned_lits + Array.length lits;
+  Telemetry.Counter.incr tc_learned;
   let pid =
     match t.proof with
     | None -> -1
@@ -525,6 +552,7 @@ let attach_learnt t lits =
   end
   else begin
     let c = { lits; act = 0.0; learnt = true; lbd = compute_lbd t lits; deleted = false; pid } in
+    t.lbd_sum <- t.lbd_sum + c.lbd;
     Vec.push t.learnts c;
     watch_clause t c;
     clause_bump t c;
@@ -631,6 +659,8 @@ let reduce_db t =
     t.learnts;
   Vec.sort_in_place (fun a b -> compare a.act b.act) cands;
   let n_del = Vec.size cands / 2 in
+  t.deleted_learnts <- t.deleted_learnts + n_del;
+  Telemetry.Counter.add tc_deleted n_del;
   for i = 0 to n_del - 1 do
     (Vec.get cands i).deleted <- true
   done;
@@ -727,11 +757,47 @@ let search t assumptions nof_conflicts =
     Unknown
   with Found_result r -> r
 
+let record_solve t ~n_assumptions ~conflicts0 ~decisions0 ~propagations0 ~restarts0 result =
+  Telemetry.Counter.incr tc_solves;
+  Telemetry.Counter.add tc_conflicts (t.conflicts - conflicts0);
+  Telemetry.Counter.add tc_decisions (t.decisions - decisions0);
+  Telemetry.Counter.add tc_propagations (t.propagations - propagations0);
+  Telemetry.Counter.add tc_restarts (t.restarts - restarts0);
+  let result_name, rc =
+    match result with
+    | Sat -> ("sat", tc_sat)
+    | Unsat -> ("unsat", tc_unsat)
+    | Unknown -> ("unknown", tc_unknown)
+  in
+  Telemetry.Counter.incr rc;
+  Telemetry.event "sat.solve"
+    ~fields:
+      [
+        ("result", Telemetry.Value.Str result_name);
+        ("assumptions", Telemetry.Value.Int n_assumptions);
+        ("conflicts", Telemetry.Value.Int (t.conflicts - conflicts0));
+        ("decisions", Telemetry.Value.Int (t.decisions - decisions0));
+        ("propagations", Telemetry.Value.Int (t.propagations - propagations0));
+        ("restarts", Telemetry.Value.Int (t.restarts - restarts0));
+        ("vars", Telemetry.Value.Int t.nvars);
+        ("clauses", Telemetry.Value.Int (Vec.size t.clauses));
+        ("learnts", Telemetry.Value.Int (Vec.size t.learnts));
+      ]
+
 let solve ?(assumptions = []) t =
   t.solves <- t.solves + 1;
   t.conflict <- [];
+  let conflicts0 = t.conflicts
+  and decisions0 = t.decisions
+  and propagations0 = t.propagations
+  and restarts0 = t.restarts in
+  let record =
+    record_solve t ~n_assumptions:(List.length assumptions) ~conflicts0 ~decisions0
+      ~propagations0 ~restarts0
+  in
   if not t.ok then begin
     t.last_result <- Unsat;
+    record Unsat;
     Unsat
   end
   else begin
@@ -749,6 +815,7 @@ let solve ?(assumptions = []) t =
       let rest_base = luby 2.0 !restarts in
       let r = search t assumptions (int_of_float (rest_base *. float_of_int restart_first)) in
       incr restarts;
+      (match r with Unknown -> t.restarts <- t.restarts + 1 | Sat | Unsat -> ());
       match r with
       | Sat | Unsat ->
         result := r;
@@ -761,6 +828,7 @@ let solve ?(assumptions = []) t =
     done;
     cancel_until t 0;
     t.last_result <- !result;
+    record !result;
     !result
   end
 
@@ -785,9 +853,16 @@ let n_conflicts t = t.conflicts
 let n_decisions t = t.decisions
 let n_propagations t = t.propagations
 let n_solve_calls t = t.solves
+let n_restarts t = t.restarts
+let n_learned t = t.learned
+let n_learned_lits t = t.learned_lits
+let n_deleted t = t.deleted_learnts
+
+let avg_lbd t = if t.learned = 0 then 0.0 else float_of_int t.lbd_sum /. float_of_int t.learned
 
 let pp_stats ppf t =
   Format.fprintf ppf
-    "vars=%d clauses=%d learnts=%d conflicts=%d decisions=%d propagations=%d solves=%d"
+    "vars=%d clauses=%d learnts=%d conflicts=%d decisions=%d propagations=%d solves=%d \
+     restarts=%d learned=%d deleted=%d avg_lbd=%.2f"
     t.nvars (Vec.size t.clauses) (Vec.size t.learnts) t.conflicts t.decisions t.propagations
-    t.solves
+    t.solves t.restarts t.learned t.deleted_learnts (avg_lbd t)

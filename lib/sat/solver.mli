@@ -70,6 +70,23 @@ val n_decisions : t -> int
 val n_propagations : t -> int
 val n_solve_calls : t -> int
 
+val n_restarts : t -> int
+val n_learned : t -> int
+(** Learned clauses attached over the solver's lifetime (units included). *)
+
+val n_learned_lits : t -> int
+(** Total literal count of the learned clauses. *)
+
+val n_deleted : t -> int
+(** Learned clauses discarded by database reduction. *)
+
+val avg_lbd : t -> float
+(** Mean LBD (glue) of the learned clauses; 0 when none were learned.
+
+    Beyond these per-instance accessors, every solver feeds the global
+    {!Telemetry} registry: cumulative [sat.*] counters over all instances
+    and a ["sat.solve"] trace event per {!solve} call. *)
+
 val pp_stats : Format.formatter -> t -> unit
 
 (** {2 Proof logging and interpolation support} *)

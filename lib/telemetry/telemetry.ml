@@ -1,0 +1,338 @@
+module Value = struct
+  type t = Int of int | Float of float | Bool of bool | Str of string
+
+  let equal a b =
+    match (a, b) with
+    | Int x, Int y -> x = y
+    | Float x, Float y -> x = y || (x <> x && y <> y) (* nan round-trips *)
+    | Bool x, Bool y -> x = y
+    | Str x, Str y -> String.equal x y
+    | _ -> false
+
+  let pp ppf = function
+    | Int i -> Format.pp_print_int ppf i
+    | Float f -> Format.fprintf ppf "%g" f
+    | Bool b -> Format.pp_print_bool ppf b
+    | Str s -> Format.fprintf ppf "%S" s
+end
+
+module Counter = struct
+  type t = { name : string; mutable v : int }
+
+  let registry : (string, t) Hashtbl.t = Hashtbl.create 64
+
+  let make name =
+    match Hashtbl.find_opt registry name with
+    | Some c -> c
+    | None ->
+      let c = { name; v = 0 } in
+      Hashtbl.add registry name c;
+      c
+
+  let incr c = c.v <- c.v + 1
+  let add c n = c.v <- c.v + n
+  let value c = c.v
+  let name c = c.name
+end
+
+let bump name n = Counter.add (Counter.make name) n
+let counter_value name = match Hashtbl.find_opt Counter.registry name with Some c -> c.Counter.v | None -> 0
+
+type snapshot = (string * int) list
+
+let snapshot () =
+  Hashtbl.fold (fun name c acc -> (name, c.Counter.v) :: acc) Counter.registry []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let diff before after =
+  let base = Hashtbl.create 16 in
+  List.iter (fun (n, v) -> Hashtbl.replace base n v) before;
+  List.filter_map
+    (fun (n, v) ->
+      let d = v - (match Hashtbl.find_opt base n with Some v0 -> v0 | None -> 0) in
+      if d = 0 then None else Some (n, d))
+    after
+
+(* Phase timers *)
+
+type phase_cell = { mutable calls : int; mutable seconds : float }
+type phase_stat = { path : string; calls : int; seconds : float }
+
+let phase_table : (string, phase_cell) Hashtbl.t = Hashtbl.create 32
+let phase_stack : string list ref = ref []
+
+let current_phase () = match !phase_stack with [] -> "" | p :: _ -> p
+
+let with_phase name f =
+  if String.contains name '/' then invalid_arg "Telemetry.with_phase: '/' in phase name";
+  let path = match !phase_stack with [] -> name | p :: _ -> p ^ "/" ^ name in
+  let cell =
+    match Hashtbl.find_opt phase_table path with
+    | Some c -> c
+    | None ->
+      let c = { calls = 0; seconds = 0.0 } in
+      Hashtbl.add phase_table path c;
+      c
+  in
+  phase_stack := path :: !phase_stack;
+  let t0 = Unix.gettimeofday () in
+  Fun.protect
+    ~finally:(fun () ->
+      cell.calls <- cell.calls + 1;
+      cell.seconds <- cell.seconds +. (Unix.gettimeofday () -. t0);
+      phase_stack := List.tl !phase_stack)
+    f
+
+let phases () =
+  Hashtbl.fold
+    (fun path (c : phase_cell) acc -> { path; calls = c.calls; seconds = c.seconds } :: acc)
+    phase_table []
+  |> List.sort (fun a b -> String.compare a.path b.path)
+
+(* Trace events *)
+
+type event = { seq : int; phase : string; name : string; fields : (string * Value.t) list }
+
+let ring_capacity = ref 4096
+let ring : event option array ref = ref (Array.make !ring_capacity None)
+let ring_next = ref 0 (* next write slot *)
+let ring_count = ref 0
+let seq_counter = ref 0
+let sink : (string -> unit) option ref = ref None
+let sink_closer : (unit -> unit) option ref = ref None
+
+let set_ring_capacity n =
+  if n <= 0 then invalid_arg "Telemetry.set_ring_capacity";
+  ring_capacity := n;
+  ring := Array.make n None;
+  ring_next := 0;
+  ring_count := 0
+
+let events () =
+  let cap = !ring_capacity in
+  let n = !ring_count in
+  let first = (!ring_next - n + cap) mod cap in
+  List.init n (fun i ->
+      match !ring.((first + i) mod cap) with Some e -> e | None -> assert false)
+
+module Json = struct
+  let escape s =
+    let b = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\r' -> Buffer.add_string b "\\r"
+        | '\t' -> Buffer.add_string b "\\t"
+        | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+
+  (* Floats print with enough digits to round-trip and always carry a
+     marker ('.', 'e', or a non-finite spelling) so the parser can
+     distinguish them from ints. *)
+  let float_repr f =
+    let s = Printf.sprintf "%.17g" f in
+    if String.exists (fun c -> c = '.' || c = 'e' || c = 'n' || c = 'i') s then s else s ^ ".0"
+
+  let of_value = function
+    | Value.Int i -> string_of_int i
+    | Value.Float f -> float_repr f
+    | Value.Bool b -> string_of_bool b
+    | Value.Str s -> "\"" ^ escape s ^ "\""
+
+  let of_event e =
+    let fields =
+      String.concat ","
+        (List.map (fun (k, v) -> Printf.sprintf "\"%s\":%s" (escape k) (of_value v)) e.fields)
+    in
+    Printf.sprintf "{\"seq\":%d,\"phase\":\"%s\",\"name\":\"%s\",\"fields\":{%s}}" e.seq
+      (escape e.phase) (escape e.name) fields
+
+  (* Minimal recursive-descent parser for the subset emitted above. *)
+  type cursor = { src : string; mutable pos : int }
+
+  let error cur msg = failwith (Printf.sprintf "Telemetry.Json.parse_event: %s at %d" msg cur.pos)
+  let peek cur = if cur.pos < String.length cur.src then Some cur.src.[cur.pos] else None
+
+  let skip_ws cur =
+    while
+      match peek cur with Some (' ' | '\t' | '\n' | '\r') -> true | _ -> false
+    do
+      cur.pos <- cur.pos + 1
+    done
+
+  let expect cur c =
+    skip_ws cur;
+    match peek cur with
+    | Some c' when c' = c -> cur.pos <- cur.pos + 1
+    | _ -> error cur (Printf.sprintf "expected %c" c)
+
+  let parse_string cur =
+    expect cur '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek cur with
+      | None -> error cur "unterminated string"
+      | Some '"' -> cur.pos <- cur.pos + 1
+      | Some '\\' ->
+        cur.pos <- cur.pos + 1;
+        (match peek cur with
+        | Some '"' -> Buffer.add_char b '"'
+        | Some '\\' -> Buffer.add_char b '\\'
+        | Some '/' -> Buffer.add_char b '/'
+        | Some 'n' -> Buffer.add_char b '\n'
+        | Some 'r' -> Buffer.add_char b '\r'
+        | Some 't' -> Buffer.add_char b '\t'
+        | Some 'b' -> Buffer.add_char b '\b'
+        | Some 'f' -> Buffer.add_char b '\012'
+        | Some 'u' ->
+          if cur.pos + 4 >= String.length cur.src then error cur "bad \\u escape";
+          let hex = String.sub cur.src (cur.pos + 1) 4 in
+          let code = int_of_string ("0x" ^ hex) in
+          if code > 0xff then error cur "non-latin \\u escape unsupported";
+          Buffer.add_char b (Char.chr code);
+          cur.pos <- cur.pos + 4
+        | _ -> error cur "bad escape");
+        cur.pos <- cur.pos + 1;
+        go ()
+      | Some c ->
+        Buffer.add_char b c;
+        cur.pos <- cur.pos + 1;
+        go ()
+    in
+    go ();
+    Buffer.contents b
+
+  let parse_value cur =
+    skip_ws cur;
+    match peek cur with
+    | Some '"' -> Value.Str (parse_string cur)
+    | Some 't' when cur.pos + 4 <= String.length cur.src ->
+      cur.pos <- cur.pos + 4;
+      Value.Bool true
+    | Some 'f' when cur.pos + 5 <= String.length cur.src ->
+      cur.pos <- cur.pos + 5;
+      Value.Bool false
+    | Some _ ->
+      let start = cur.pos in
+      while
+        match peek cur with
+        | Some ('0' .. '9' | '-' | '+' | '.' | 'e' | 'E' | 'n' | 'a' | 'i' | 'f') -> true
+        | _ -> false
+      do
+        cur.pos <- cur.pos + 1
+      done;
+      let tok = String.sub cur.src start (cur.pos - start) in
+      if tok = "" then error cur "expected value";
+      if String.exists (fun c -> c = '.' || c = 'e' || c = 'E' || c = 'n' || c = 'i') tok then
+        Value.Float (float_of_string tok)
+      else Value.Int (int_of_string tok)
+    | None -> error cur "expected value"
+
+  let parse_object cur parse_member =
+    expect cur '{';
+    skip_ws cur;
+    if peek cur = Some '}' then cur.pos <- cur.pos + 1
+    else begin
+      let rec go () =
+        skip_ws cur;
+        let key = parse_string cur in
+        expect cur ':';
+        parse_member key;
+        skip_ws cur;
+        match peek cur with
+        | Some ',' ->
+          cur.pos <- cur.pos + 1;
+          go ()
+        | Some '}' -> cur.pos <- cur.pos + 1
+        | _ -> error cur "expected ',' or '}'"
+      in
+      go ()
+    end
+
+  let parse_event line =
+    let cur = { src = line; pos = 0 } in
+    let seq = ref (-1) and phase = ref "" and name = ref "" and fields = ref [] in
+    parse_object cur (fun key ->
+        match key with
+        | "seq" -> (
+          match parse_value cur with Value.Int i -> seq := i | _ -> error cur "seq not an int")
+        | "phase" -> (
+          match parse_value cur with Value.Str s -> phase := s | _ -> error cur "phase not a string")
+        | "name" -> (
+          match parse_value cur with Value.Str s -> name := s | _ -> error cur "name not a string")
+        | "fields" -> parse_object cur (fun k -> fields := (k, parse_value cur) :: !fields)
+        | _ -> ignore (parse_value cur));
+    skip_ws cur;
+    if cur.pos <> String.length line then error cur "trailing characters";
+    if !seq < 0 then error cur "missing seq";
+    { seq = !seq; phase = !phase; name = !name; fields = List.rev !fields }
+end
+
+let event ?(fields = []) name =
+  let e = { seq = !seq_counter; phase = current_phase (); name; fields } in
+  incr seq_counter;
+  !ring.(!ring_next) <- Some e;
+  ring_next := (!ring_next + 1) mod !ring_capacity;
+  if !ring_count < !ring_capacity then incr ring_count;
+  match !sink with None -> () | Some write -> write (Json.of_event e)
+
+let close_sink () =
+  (match !sink_closer with Some close -> close () | None -> ());
+  sink := None;
+  sink_closer := None
+
+let set_sink write =
+  close_sink ();
+  sink := Some write
+
+let sink_to_file path =
+  close_sink ();
+  let oc = open_out path in
+  sink :=
+    Some
+      (fun line ->
+        output_string oc line;
+        output_char oc '\n');
+  sink_closer := Some (fun () -> close_out oc)
+
+let reset () =
+  Hashtbl.iter (fun _ c -> c.Counter.v <- 0) Counter.registry;
+  Hashtbl.reset phase_table;
+  phase_stack := [];
+  Array.fill !ring 0 !ring_capacity None;
+  ring_next := 0;
+  ring_count := 0;
+  seq_counter := 0
+
+let pp_summary ppf () =
+  let counters = List.filter (fun (_, v) -> v <> 0) (snapshot ()) in
+  Format.fprintf ppf "@[<v>-- counters --@,";
+  if counters = [] then Format.fprintf ppf "(none)@,"
+  else begin
+    let width = List.fold_left (fun acc (n, _) -> max acc (String.length n)) 0 counters in
+    List.iter (fun (n, v) -> Format.fprintf ppf "%-*s %d@," width n v) counters
+  end;
+  Format.fprintf ppf "-- phases --@,";
+  let ps = phases () in
+  if ps = [] then Format.fprintf ppf "(none)@,"
+  else
+    List.iter
+      (fun { path; calls; seconds } ->
+        let depth =
+          String.fold_left (fun acc c -> if c = '/' then acc + 1 else acc) 0 path
+        in
+        let leaf =
+          match String.rindex_opt path '/' with
+          | Some i -> String.sub path (i + 1) (String.length path - i - 1)
+          | None -> path
+        in
+        Format.fprintf ppf "%s%-*s calls=%-6d %8.3fs@," (String.make (2 * depth) ' ')
+          (max 1 (24 - (2 * depth)))
+          leaf calls seconds)
+      ps;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,127 @@
+(** Deterministic counters, hierarchical phase timers and structured trace
+    events for the SAT/ECO pipeline.
+
+    Three independent facilities share one process-global registry:
+
+    - {b Counters} — named monotonic integer counters.  Counter values
+      depend only on the work performed (never on the clock), so a fixed
+      seed/config produces byte-identical {!snapshot}s across runs; tests
+      assert on {!diff}s of snapshots taken around the region of interest.
+    - {b Phase timers} — wall-clock timers keyed by a hierarchical path
+      ("eco/support/patch_fun") maintained by dynamically-scoped
+      {!with_phase} nesting.  Timers are intentionally segregated from
+      counters: they are the one non-deterministic part of the summary.
+    - {b Trace events} — structured records kept in a bounded ring buffer
+      and, when a sink is installed, streamed as JSON Lines.  Events carry
+      the phase path current at emission time plus a deterministic sequence
+      number; they contain no timestamps, so two traces of identical runs
+      diff clean.
+
+    The module has no dependencies outside the OCaml distribution and is
+    safe to link at the very bottom of the library stack (the SAT solver
+    instruments itself with it). *)
+
+module Value : sig
+  (** Field values of trace events. *)
+  type t = Int of int | Float of float | Bool of bool | Str of string
+
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end
+
+module Counter : sig
+  type t
+  (** Handle to a registered counter; cheap to store at module level. *)
+
+  val make : string -> t
+  (** Registers (or retrieves) the counter with the given name. *)
+
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val value : t -> int
+  val name : t -> string
+end
+
+val bump : string -> int -> unit
+(** [bump name n] adds [n] to the named counter, registering it first if
+    needed.  Convenience for call sites too cold to cache a handle. *)
+
+val counter_value : string -> int
+(** Current value of a counter; 0 when it was never registered. *)
+
+type snapshot = (string * int) list
+(** Counter names and values, sorted by name. *)
+
+val snapshot : unit -> snapshot
+
+val diff : snapshot -> snapshot -> snapshot
+(** [diff before after] — per-counter deltas, omitting zero entries.
+    Counters absent from [before] count from 0. *)
+
+(** {2 Phase timers} *)
+
+val with_phase : string -> (unit -> 'a) -> 'a
+(** Runs the thunk with the named phase pushed onto the phase stack;
+    accumulates its wall-clock time (and a call count) under the full
+    path "outer/inner".  Exception-safe.  [name] must not contain '/'. *)
+
+val current_phase : unit -> string
+(** Full path of the innermost active phase; [""] outside any phase. *)
+
+type phase_stat = { path : string; calls : int; seconds : float }
+
+val phases : unit -> phase_stat list
+(** All phases observed so far, sorted by path (parents before their
+    children).  Seconds are cumulative and include nested phases. *)
+
+(** {2 Trace events} *)
+
+type event = {
+  seq : int;  (** deterministic emission index, starting at 0 *)
+  phase : string;  (** phase path at emission time *)
+  name : string;
+  fields : (string * Value.t) list;
+}
+
+val event : ?fields:(string * Value.t) list -> string -> unit
+(** Records an event in the ring buffer and writes it to the sink when one
+    is installed. *)
+
+val events : unit -> event list
+(** Contents of the ring buffer, oldest first. *)
+
+val set_ring_capacity : int -> unit
+(** Resizes the ring (default 4096), discarding buffered events. *)
+
+val sink_to_file : string -> unit
+(** Streams every subsequent event to the given path as JSON Lines,
+    replacing any previous sink. *)
+
+val set_sink : (string -> unit) -> unit
+(** Installs a custom sink; it receives one JSON line (no newline) per
+    event. *)
+
+val close_sink : unit -> unit
+
+module Json : sig
+  val escape : string -> string
+  (** JSON string-literal escaping (without the surrounding quotes). *)
+
+  val of_event : event -> string
+  (** One JSON object, no trailing newline:
+      [{"seq":0,"phase":"eco/support","name":"sat.solve","fields":{...}}]. *)
+
+  val parse_event : string -> event
+  (** Inverse of {!of_event} (accepts any field order and extra
+      whitespace).  Raises [Failure] on malformed input. *)
+end
+
+(** {2 Lifecycle and reporting} *)
+
+val reset : unit -> unit
+(** Zeroes all counters and timers, clears the ring and the sequence
+    number.  The sink stays installed. *)
+
+val pp_summary : Format.formatter -> unit -> unit
+(** Human-readable report: the counter table followed by the phase-timer
+    tree. *)

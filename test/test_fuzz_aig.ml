@@ -1,0 +1,149 @@
+(* Property fuzzing of the AIG package: random graphs cross-checked
+   against 64-bit bit-parallel simulation.
+
+   Each seeded case builds a random AIG and validates that
+   - [eval] agrees with every column of [simulate];
+   - [cofactor] equals forcing the input column to a constant;
+   - [substitute] equals composing the input column with the substituted
+     function's column;
+   - structural hashing canonicalizes commuted/duplicated operands to the
+     very same literal. *)
+
+let all_ones = -1L (* 0xFFFF...F as an Int64 *)
+
+let random_words rand n = Array.init n (fun _ -> Random.State.int64 rand Int64.max_int)
+
+(* A random DAG: [n_nodes] gates over [n_inputs] PIs, operands drawn from
+   everything built so far with random complementation. *)
+let random_aig rand ~n_inputs ~n_nodes =
+  let m = Aig.create () in
+  let xs = Aig.add_inputs m n_inputs in
+  let pool = ref (Array.to_list xs) in
+  let pick () =
+    let l = List.nth !pool (Random.State.int rand (List.length !pool)) in
+    if Random.State.bool rand then Aig.not_ l else l
+  in
+  for _ = 1 to n_nodes do
+    let a = pick () and b = pick () in
+    let l =
+      match Random.State.int rand 4 with
+      | 0 -> Aig.and_ m a b
+      | 1 -> Aig.or_ m a b
+      | 2 -> Aig.xor_ m a b
+      | _ -> Aig.ite m a b (pick ())
+    in
+    pool := l :: !pool
+  done;
+  (m, xs, pick ())
+
+let n_cases = 120
+
+let test_eval_vs_simulate () =
+  for seed = 0 to n_cases - 1 do
+    let rand = Random.State.make [| 0xa16; seed |] in
+    let n_inputs = 3 + Random.State.int rand 6 in
+    let m, _, f = random_aig rand ~n_inputs ~n_nodes:(10 + Random.State.int rand 40) in
+    let words = random_words rand n_inputs in
+    let col = Aig.lit_value (Aig.simulate m words) f in
+    let bit = Random.State.int rand 64 in
+    let bits =
+      Array.init n_inputs (fun i ->
+          Int64.logand (Int64.shift_right_logical words.(i) bit) 1L <> 0L)
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d: eval = simulate bit %d" seed bit)
+      (Int64.logand (Int64.shift_right_logical col bit) 1L <> 0L)
+      (Aig.eval m bits f)
+  done
+
+let test_cofactor_vs_simulate () =
+  for seed = 0 to n_cases - 1 do
+    let rand = Random.State.make [| 0xc0f; seed |] in
+    let n_inputs = 3 + Random.State.int rand 6 in
+    let m, xs, f = random_aig rand ~n_inputs ~n_nodes:(10 + Random.State.int rand 40) in
+    let i = Random.State.int rand n_inputs in
+    let phase = Random.State.bool rand in
+    let f' =
+      match Aig.cofactor m ~var:xs.(i) phase [ f ] with [ l ] -> l | _ -> assert false
+    in
+    let ctx = Printf.sprintf "seed %d: cofactor x%d:=%b" seed i phase in
+    (* The substituted input leaves the cone entirely. *)
+    Alcotest.(check bool)
+      (ctx ^ " drops the input")
+      false
+      (List.mem (Aig.node_of xs.(i)) (Aig.support m [ f' ]));
+    let words = random_words rand n_inputs in
+    let forced = Array.copy words in
+    forced.(i) <- (if phase then all_ones else 0L);
+    Alcotest.(check int64) (ctx ^ " matches forced simulation")
+      (Aig.lit_value (Aig.simulate m forced) f)
+      (Aig.lit_value (Aig.simulate m words) f')
+  done
+
+let test_substitute_vs_simulate () =
+  for seed = 0 to n_cases - 1 do
+    let rand = Random.State.make [| 0x5b5; seed |] in
+    let n_inputs = 4 + Random.State.int rand 5 in
+    let m, xs, f = random_aig rand ~n_inputs ~n_nodes:(10 + Random.State.int rand 40) in
+    let i = Random.State.int rand n_inputs in
+    (* Replacement function over the other inputs only. *)
+    let others = Array.of_list (List.filteri (fun j _ -> j <> i) (Array.to_list xs)) in
+    let pick () =
+      let l = others.(Random.State.int rand (Array.length others)) in
+      if Random.State.bool rand then Aig.not_ l else l
+    in
+    let g =
+      match Random.State.int rand 3 with
+      | 0 -> Aig.and_ m (pick ()) (pick ())
+      | 1 -> Aig.xor_ m (pick ()) (pick ())
+      | _ -> Aig.or_ m (pick ()) (Aig.and_ m (pick ()) (pick ()))
+    in
+    let f' =
+      match Aig.substitute m ~input:xs.(i) g [ f ] with [ l ] -> l | _ -> assert false
+    in
+    let words = random_words rand n_inputs in
+    let values = Aig.simulate m words in
+    let composed = Array.copy words in
+    composed.(i) <- Aig.lit_value values g;
+    Alcotest.(check int64)
+      (Printf.sprintf "seed %d: substitute x%d:=g matches composition" seed i)
+      (Aig.lit_value (Aig.simulate m composed) f)
+      (Aig.lit_value values f')
+  done
+
+let test_strash_canonical () =
+  for seed = 0 to n_cases - 1 do
+    let rand = Random.State.make [| 0x57a; seed |] in
+    let n_inputs = 3 + Random.State.int rand 6 in
+    let m, _, _ = random_aig rand ~n_inputs ~n_nodes:(10 + Random.State.int rand 40) in
+    let before = Aig.num_nodes m in
+    (* Rebuild random two-input functions both ways: strashing must return
+       the identical literal without allocating new nodes. *)
+    let pool = Array.init before (fun id -> Aig.lit_of_node id (Random.State.bool rand)) in
+    for _ = 1 to 20 do
+      let a = pool.(Random.State.int rand before)
+      and b = pool.(Random.State.int rand before) in
+      let ctx = Printf.sprintf "seed %d: lits %d,%d" seed a b in
+      let ab = Aig.and_ m a b in
+      Alcotest.(check int) (ctx ^ " and commutes") ab (Aig.and_ m b a);
+      Alcotest.(check int) (ctx ^ " and idempotent") a (Aig.and_ m a a);
+      Alcotest.(check int) (ctx ^ " a & ~a = 0") Aig.false_ (Aig.and_ m a (Aig.not_ a));
+      Alcotest.(check int)
+        (ctx ^ " de morgan")
+        (Aig.or_ m a b)
+        (Aig.not_ (Aig.and_ m (Aig.not_ a) (Aig.not_ b)));
+      Alcotest.(check int) (ctx ^ " xor commutes") (Aig.xor_ m a b) (Aig.xor_ m b a)
+    done
+  done
+
+let () =
+  Alcotest.run "fuzz_aig"
+    [
+      ( "simulation",
+        [
+          Alcotest.test_case "eval vs simulate" `Quick test_eval_vs_simulate;
+          Alcotest.test_case "cofactor vs simulate" `Quick test_cofactor_vs_simulate;
+          Alcotest.test_case "substitute vs simulate" `Quick test_substitute_vs_simulate;
+        ] );
+      ("strash", [ Alcotest.test_case "canonicalization" `Quick test_strash_canonical ]);
+    ]

@@ -1,0 +1,211 @@
+(* The telemetry layer: counter/timer/event mechanics, JSONL round-trip,
+   and the determinism contract the perf work relies on — identical
+   [Engine.solve] runs on a suite unit must produce byte-identical counter
+   deltas. *)
+
+let v_int i = Telemetry.Value.Int i
+let v_str s = Telemetry.Value.Str s
+
+let test_counters () =
+  let c = Telemetry.Counter.make "test.counter_a" in
+  let v0 = Telemetry.Counter.value c in
+  Telemetry.Counter.incr c;
+  Telemetry.Counter.add c 41;
+  Alcotest.(check int) "incr + add" (v0 + 42) (Telemetry.Counter.value c);
+  Alcotest.(check int) "by-name lookup" (v0 + 42) (Telemetry.counter_value "test.counter_a");
+  Alcotest.(check string) "name" "test.counter_a" (Telemetry.Counter.name c);
+  let c' = Telemetry.Counter.make "test.counter_a" in
+  Telemetry.Counter.incr c';
+  Alcotest.(check int) "make is idempotent" (v0 + 43) (Telemetry.Counter.value c)
+
+let test_snapshot_diff () =
+  let before = Telemetry.snapshot () in
+  Telemetry.bump "test.diff_x" 3;
+  Telemetry.bump "test.diff_y" 2;
+  Telemetry.bump "test.diff_y" (-2);
+  let d = Telemetry.diff before (Telemetry.snapshot ()) in
+  Alcotest.(check (list (pair string int)))
+    "only nonzero deltas, sorted" [ ("test.diff_x", 3) ]
+    (List.filter (fun (n, _) -> String.length n > 5 && String.sub n 0 5 = "test.") d)
+
+let test_phases () =
+  Alcotest.(check string) "no phase outside" "" (Telemetry.current_phase ());
+  let r =
+    Telemetry.with_phase "outer" (fun () ->
+        Alcotest.(check string) "inner path" "outer" (Telemetry.current_phase ());
+        Telemetry.with_phase "inner" (fun () ->
+            Alcotest.(check string) "nested path" "outer/inner" (Telemetry.current_phase ());
+            17))
+  in
+  Alcotest.(check int) "value threaded" 17 r;
+  (* Exception safety: the stack unwinds. *)
+  (try Telemetry.with_phase "outer" (fun () -> failwith "boom") with Failure _ -> ());
+  Alcotest.(check string) "stack unwound" "" (Telemetry.current_phase ());
+  let stat =
+    List.find (fun s -> s.Telemetry.path = "outer/inner") (Telemetry.phases ())
+  in
+  Alcotest.(check bool) "inner called once" true (stat.Telemetry.calls >= 1);
+  Alcotest.(check bool) "seconds nonnegative" true (stat.Telemetry.seconds >= 0.0)
+
+let test_ring_buffer () =
+  Telemetry.set_ring_capacity 8;
+  for i = 0 to 19 do
+    Telemetry.event "test.ring" ~fields:[ ("i", v_int i) ]
+  done;
+  let es = Telemetry.events () in
+  Alcotest.(check int) "capacity bounds the ring" 8 (List.length es);
+  Alcotest.(check (list int)) "oldest dropped, order kept"
+    [ 12; 13; 14; 15; 16; 17; 18; 19 ]
+    (List.map
+       (fun (e : Telemetry.event) ->
+         match e.Telemetry.fields with [ ("i", Telemetry.Value.Int i) ] -> i | _ -> -1)
+       es);
+  let seqs = List.map (fun (e : Telemetry.event) -> e.Telemetry.seq) es in
+  Alcotest.(check bool) "seq strictly increasing" true
+    (List.for_all2 ( < ) (List.filteri (fun i _ -> i < 7) seqs) (List.tl seqs));
+  Telemetry.set_ring_capacity 4096
+
+let roundtrip e =
+  let line = Telemetry.Json.of_event e in
+  let e' = Telemetry.Json.parse_event line in
+  Alcotest.(check int) "seq" e.Telemetry.seq e'.Telemetry.seq;
+  Alcotest.(check string) "phase" e.Telemetry.phase e'.Telemetry.phase;
+  Alcotest.(check string) "name" e.Telemetry.name e'.Telemetry.name;
+  Alcotest.(check int) "field count" (List.length e.Telemetry.fields)
+    (List.length e'.Telemetry.fields);
+  List.iter2
+    (fun (k, v) (k', v') ->
+      Alcotest.(check string) "field key" k k';
+      Alcotest.(check bool)
+        (Printf.sprintf "field %s value" k)
+        true
+        (Telemetry.Value.equal v v'))
+    e.Telemetry.fields e'.Telemetry.fields
+
+let test_jsonl_roundtrip () =
+  Telemetry.set_ring_capacity 64;
+  let collected = ref [] in
+  Telemetry.set_sink (fun line -> collected := line :: !collected);
+  Telemetry.with_phase "rt" (fun () ->
+      Telemetry.event "plain" ;
+      Telemetry.event "ints" ~fields:[ ("a", v_int 0); ("b", v_int (-12345)) ];
+      Telemetry.event "floats"
+        ~fields:
+          [
+            ("x", Telemetry.Value.Float 1.5);
+            ("y", Telemetry.Value.Float (-0.25));
+            ("z", Telemetry.Value.Float 3.0);
+            ("tiny", Telemetry.Value.Float 1e-9);
+          ];
+      Telemetry.event "bools" ~fields:[ ("t", Telemetry.Value.Bool true); ("f", Telemetry.Value.Bool false) ];
+      Telemetry.event "strings"
+        ~fields:
+          [
+            ("quoted", v_str "say \"hi\"");
+            ("escaped", v_str "tab\there\nnewline\\slash");
+            ("control", v_str "\001\002");
+            ("empty", v_str "");
+          ]);
+  Telemetry.close_sink ();
+  let events = Telemetry.events () in
+  let tail n l = List.filteri (fun i _ -> i >= List.length l - n) l in
+  let last5 = tail 5 events in
+  Alcotest.(check int) "five events emitted" 5 (List.length last5);
+  List.iter roundtrip last5;
+  (* The sink saw the same JSON the encoder produces. *)
+  let sunk = List.rev !collected in
+  Alcotest.(check int) "sink got every event" 5 (List.length sunk);
+  List.iter2
+    (fun e line -> Alcotest.(check string) "sink line" (Telemetry.Json.of_event e) line)
+    last5 sunk;
+  List.iter
+    (fun (e : Telemetry.event) ->
+      Alcotest.(check string) "phase recorded" "rt" e.Telemetry.phase)
+    last5
+
+let test_parse_rejects_garbage () =
+  List.iter
+    (fun s ->
+      match Telemetry.Json.parse_event s with
+      | _ -> Alcotest.fail (Printf.sprintf "accepted %S" s)
+      | exception Failure _ -> ())
+    [ ""; "{"; "not json"; "{\"seq\":}"; "{\"phase\":\"x\"}"; "{\"seq\":1} trailing" ]
+
+(* The acceptance-criterion test: two identical Engine.solve calls on a
+   Gen.Suite unit yield byte-identical counter deltas (SAT calls,
+   conflicts, decisions, propagations, cubes, ... every counter in the
+   registry).  Wall-clock phase timers are exempt by design. *)
+let engine_counters config unit_name =
+  let spec = Gen.Suite.find unit_name in
+  let inst = Gen.Suite.instantiate spec in
+  let before = Telemetry.snapshot () in
+  let outcome = Eco.Engine.solve ~config inst in
+  let d = Telemetry.diff before (Telemetry.snapshot ()) in
+  (outcome, d)
+
+let test_engine_determinism () =
+  List.iter
+    (fun (unit_name, method_) ->
+      let config = Eco.Engine.config_of_method method_ in
+      let o1, d1 = engine_counters config unit_name in
+      let o2, d2 = engine_counters config unit_name in
+      let ctx = "unit " ^ unit_name in
+      Alcotest.(check bool) (ctx ^ ": solved") true (o1.Eco.Engine.status = Eco.Engine.Solved);
+      Alcotest.(check bool)
+        (ctx ^ ": same status")
+        true
+        (o1.Eco.Engine.status = o2.Eco.Engine.status);
+      Alcotest.(check int) (ctx ^ ": same engine sat_calls") o1.Eco.Engine.sat_calls
+        o2.Eco.Engine.sat_calls;
+      Alcotest.(check (list (pair string int))) (ctx ^ ": identical counter deltas") d1 d2;
+      (* The deltas actually cover the solver, or the assertion is hollow. *)
+      Alcotest.(check bool)
+        (ctx ^ ": sat.solves counted")
+        true
+        (List.mem_assoc "sat.solves" d1);
+      Alcotest.(check bool)
+        (ctx ^ ": eco.runs counted")
+        true
+        (List.mem_assoc "eco.runs" d1))
+    [ ("unit1", Eco.Engine.Min_assume); ("unit2", Eco.Engine.Baseline) ]
+
+let test_solver_stats_accessors () =
+  let s = Sat.Solver.create () in
+  let n = 8 in
+  let v = Sat.Solver.new_vars s n in
+  (* Pigeonhole-ish contradiction to force some learning. *)
+  for i = 0 to n - 2 do
+    Sat.Solver.add_clause s [ Sat.Lit.make_neg (v + i); Sat.Lit.make (v + i + 1) ]
+  done;
+  Sat.Solver.add_clause s [ Sat.Lit.make v ];
+  Sat.Solver.add_clause s [ Sat.Lit.make_neg (v + n - 1) ];
+  Alcotest.(check bool) "unsat" true (Sat.Solver.solve s = Sat.Solver.Unsat);
+  Alcotest.(check bool) "restarts nonnegative" true (Sat.Solver.n_restarts s >= 0);
+  Alcotest.(check bool) "learned nonnegative" true (Sat.Solver.n_learned s >= 0);
+  Alcotest.(check bool) "deleted nonnegative" true (Sat.Solver.n_deleted s >= 0);
+  Alcotest.(check bool) "avg lbd nonnegative" true (Sat.Solver.avg_lbd s >= 0.0);
+  Alcotest.(check bool)
+    "learned lits bounds learned" true
+    (Sat.Solver.n_learned_lits s >= Sat.Solver.n_learned s)
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ( "core",
+        [
+          Alcotest.test_case "counters" `Quick test_counters;
+          Alcotest.test_case "snapshot diff" `Quick test_snapshot_diff;
+          Alcotest.test_case "phase timers" `Quick test_phases;
+          Alcotest.test_case "ring buffer" `Quick test_ring_buffer;
+        ] );
+      ( "jsonl",
+        [
+          Alcotest.test_case "round trip" `Quick test_jsonl_roundtrip;
+          Alcotest.test_case "parse rejects garbage" `Quick test_parse_rejects_garbage;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "engine counters repeat exactly" `Quick test_engine_determinism;
+          Alcotest.test_case "solver stats accessors" `Quick test_solver_stats_accessors;
+        ] );
+    ]
