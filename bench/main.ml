@@ -5,7 +5,10 @@
    dune exec bench/main.exe table1       -- just the Table 1 regeneration
    dune exec bench/main.exe table1-fast  -- Table 1 on the quick units only
    dune exec bench/main.exe ablations    -- ablations A-D
-   dune exec bench/main.exe micro        -- bechamel kernels *)
+   dune exec bench/main.exe micro        -- bechamel kernels
+
+   --no-simplify (anywhere in argv) disables SatELite-style CNF
+   preprocessing in every SAT call, for A/B counter comparisons. *)
 
 let fast_units =
   List.filter
@@ -13,7 +16,13 @@ let fast_units =
     Gen.Suite.all
 
 let () =
-  let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  let args = List.tl (Array.to_list Sys.argv) in
+  if List.mem "--no-simplify" args then Sat.Simplify.enabled := false;
+  let what =
+    match List.filter (fun a -> a <> "--no-simplify") args with
+    | [] -> "all"
+    | w :: _ -> w
+  in
   match what with
   | "table1" -> ignore (Table1.run ())
   | "table1-fast" -> ignore (Table1.run ~units:fast_units ())

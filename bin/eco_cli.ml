@@ -61,9 +61,13 @@ let solve_cmd =
   let trace =
     Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc:"Stream structured trace events (JSON Lines) to $(docv) while solving.")
   in
+  let no_simplify =
+    Arg.(value & flag & info [ "no-simplify" ] ~doc:"Disable SatELite-style CNF preprocessing (subsumption, self-subsuming resolution, bounded variable elimination, failed-literal probing) in every SAT call; reproduces the pre-simplification solver behaviour and counters.")
+  in
   let run impl_file spec_file targets unit_name weights method_ structural out budget stats trace
-      =
+      no_simplify =
     try
+      if no_simplify then Sat.Simplify.enabled := false;
       let instance =
         match (unit_name, impl_file, spec_file) with
         | Some u, None, None -> (
@@ -107,7 +111,7 @@ let solve_cmd =
     Term.(
       term_result
         (const run $ impl_file $ spec_file $ targets $ unit_name $ weights $ method_ $ structural
-       $ out $ budget $ stats $ trace))
+       $ out $ budget $ stats $ trace $ no_simplify))
   in
   Cmd.v (Cmd.info "solve" ~doc:"Compute ECO patch functions for the given targets.") term
 
@@ -167,8 +171,35 @@ let suite_cmd =
     Term.(term_result (const run $ const ()))
 
 let () =
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Reproduction of \"Efficient computation of ECO patch functions\" (DAC 2018): \
+         computes minimum-cost patch functions that rectify an implementation netlist \
+         against its specification.";
+      `S "COMMON SOLVE OPTIONS";
+      `P "$(b,--unit) $(i,UNIT): solve a built-in benchmark unit (unit1 .. unit20) \
+          instead of passing $(b,--impl)/$(b,--spec) netlists.";
+      `P "$(b,--stats): print telemetry after solving — per-phase wall-clock timers \
+          and the SAT/ECO counter table.";
+      `P "$(b,--trace) $(i,FILE): stream structured trace events (JSON Lines) to \
+          $(i,FILE) while solving; the last event is a counter summary.";
+      `P "$(b,--no-simplify): disable SatELite-style CNF preprocessing in every SAT \
+          call (escape hatch for debugging and A/B counter comparisons).";
+      `S Manpage.s_examples;
+      `P "Solve a benchmark unit with telemetry:";
+      `Pre "  eco-patch solve --unit unit7 --stats";
+      `P "Patch a netlist pair and write the result:";
+      `Pre "  eco-patch solve --impl impl.v --spec spec.v -t w1 -o patched.v";
+    ]
+  in
   let info =
     Cmd.info "eco-patch" ~version:"1.0.0"
       ~doc:"Efficient computation of ECO patch functions (DAC 2018 reproduction)."
+      ~man
   in
-  exit (Cmd.eval (Cmd.group info [ solve_cmd; gen_cmd; suite_cmd ]))
+  (* A bare `eco-patch` invocation prints the manual and exits 0 instead of
+     taking the usage-error path. *)
+  let default = Term.(ret (const (`Help (`Auto, None)))) in
+  exit (Cmd.eval (Cmd.group ~default info [ solve_cmd; gen_cmd; suite_cmd ]))

@@ -7,10 +7,13 @@
 
 type env
 
-val create : ?part:Sat.Proof.part -> Graph.t -> Sat.Solver.t -> env
+val create : ?part:Sat.Proof.part -> ?simp:Sat.Simplify.t -> Graph.t -> Sat.Solver.t -> env
 (** [part] tags every emitted clause with an interpolation partition
     (requires a proof-logging solver); used by the interpolation-based
-    patch computation. *)
+    patch computation.  [simp] routes every emitted clause through a
+    {!Sat.Simplify} preprocessor wrapping the same solver — the caller is
+    then responsible for freezing each literal it reads back with
+    {!Sat.Simplify.value}.  The two options are mutually exclusive. *)
 
 val lit : env -> Graph.lit -> Sat.Lit.t
 (** [lit env l] returns the solver literal for AIG literal [l], encoding the

@@ -37,11 +37,19 @@ let check_lit ?(budget = 0) m l =
   if l = Aig.false_ then Equivalent
   else begin
     let solver = Sat.Solver.create () in
+    let simp = Sat.Simplify.create solver in
     if budget > 0 then Sat.Solver.set_budget solver budget;
-    let env = Aig.Cnf.create m solver in
+    let env = Aig.Cnf.create ~simp m solver in
     let sl = Aig.Cnf.lit env l in
-    Sat.Solver.add_clause solver [ sl ];
-    match Sat.Solver.solve solver with
+    Sat.Simplify.add_clause simp [ sl ];
+    (* Counterexamples read every encoded input back from the model. *)
+    Array.iter
+      (fun il ->
+        match Aig.Cnf.lit_opt env il with
+        | Some sl -> Sat.Simplify.freeze simp sl
+        | None -> ())
+      (Aig.inputs m);
+    match Sat.Simplify.solve simp with
     | Sat.Solver.Unsat -> Equivalent
     | Sat.Solver.Unknown -> Undecided
     | Sat.Solver.Sat ->
@@ -49,7 +57,7 @@ let check_lit ?(budget = 0) m l =
         Array.map
           (fun il ->
             match Aig.Cnf.lit_opt env il with
-            | Some sl -> Sat.Solver.value solver sl
+            | Some sl -> Sat.Simplify.value simp sl
             | None -> false (* input outside the encoded cone: don't care *))
           (Aig.inputs m)
       in

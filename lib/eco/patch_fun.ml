@@ -12,18 +12,29 @@ let compute ?(budget = 0) ?(max_cubes = 50_000) ?(deadline = 0.0) (miter : Miter
     ~chosen =
   let stop_at = if deadline > 0.0 then Unix.gettimeofday () +. deadline else 0.0 in
   let solver = Sat.Solver.create () in
-  let env = Aig.Cnf.create miter.Miter.mgr solver in
+  (* Preprocessing stays opt-out here: cube enumeration consumes onset
+     models, and variable elimination perturbs which witness each solve
+     returns — harmless logically, but the greedy prime-cover then needs a
+     different (often far larger) cube set, changing patch gates.  The
+     [enabled] toggle still applies so A/B runs stay meaningful. *)
+  let simp = Sat.Simplify.create ~enabled:false solver in
+  let env = Aig.Cnf.create ~simp miter.Miter.mgr solver in
   let m_sat = Aig.Cnf.lit env m_i in
   let n_sat = Aig.Cnf.lit env (Miter.target_lit miter target) in
   let divisors = Array.of_list (List.map (fun i -> miter.Miter.divisors.(i)) chosen) in
   let d_sat = Array.map (fun d -> Aig.Cnf.lit env d.Miter.div_lit) divisors in
+  (* Divisor values are read from every onset model and negated into
+     blocking clauses; the miter/target literals drive assumptions. *)
+  Array.iter (Sat.Simplify.freeze simp) d_sat;
+  Sat.Simplify.freeze simp m_sat;
+  Sat.Simplify.freeze simp n_sat;
   let k = Array.length divisors in
   let support =
     Array.to_list (Array.map (fun d -> (d.Miter.div_name, d.Miter.div_cost)) divisors)
   in
   let solve assumptions =
     if budget > 0 then Sat.Solver.set_budget solver budget;
-    match Sat.Solver.solve ~assumptions solver with
+    match Sat.Simplify.solve ~assumptions simp with
     | Sat.Solver.Unknown -> raise Min_assume.Budget_exhausted
     | r -> r
   in
@@ -44,7 +55,7 @@ let compute ?(budget = 0) ?(max_cubes = 50_000) ?(deadline = 0.0) (miter : Miter
     | Sat.Solver.Unknown -> raise Min_assume.Budget_exhausted
     | Sat.Solver.Sat ->
       (* Divisor-space point of this onset witness. *)
-      let point = Array.map (fun sl -> Sat.Solver.value solver sl) d_sat in
+      let point = Array.map (fun sl -> Sat.Simplify.value simp sl) d_sat in
       let cand =
         List.init k (fun i -> Sat.Lit.apply_sign d_sat.(i) (not point.(i)))
       in
@@ -76,7 +87,7 @@ let compute ?(budget = 0) ?(max_cubes = 50_000) ?(deadline = 0.0) (miter : Miter
         cubes := Twolevel.Cube.of_literals k lits :: !cubes;
         (* Block the cube on the onset side (it is offset-free, so blocking
            it globally removes no offset point). *)
-        Sat.Solver.add_clause solver (List.map Sat.Lit.neg prime)
+        Sat.Simplify.add_clause simp (List.map Sat.Lit.neg prime)
       end
   done;
   let sop =

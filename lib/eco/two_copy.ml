@@ -1,5 +1,6 @@
 type t = {
   solver : Sat.Solver.t;
+  simp : Sat.Simplify.t;
   sel : Sat.Lit.t array;
   d1 : Sat.Lit.t array; (* divisor literal in copy 1 *)
   d2 : Sat.Lit.t array;
@@ -25,10 +26,16 @@ let build (miter : Miter.t) ~m_i ~target =
   let m1, d1_lits = import_copy false in
   let m2, d2_lits = import_copy true in
   let solver = Sat.Solver.create () in
-  let env = Aig.Cnf.create mgr2 solver in
+  (* Preprocessing stays opt-out here: support selection consumes the
+     assumption cores of this solver, and simplification changes which
+     core the search finds — still a correct core, but a different support
+     choice cascades into different (and sometimes much worse) patch
+     costs.  The [enabled] toggle still applies for A/B comparisons. *)
+  let simp = Sat.Simplify.create ~enabled:false solver in
+  let env = Aig.Cnf.create ~simp mgr2 solver in
   let m1_sat = Aig.Cnf.lit env m1 and m2_sat = Aig.Cnf.lit env m2 in
-  Sat.Solver.add_clause solver [ m1_sat ];
-  Sat.Solver.add_clause solver [ m2_sat ];
+  Sat.Simplify.add_clause simp [ m1_sat ];
+  Sat.Simplify.add_clause simp [ m2_sat ];
   let n = Array.length miter.Miter.divisors in
   let sel = Array.make n (Sat.Lit.make 0) in
   let d1 = Array.make n (Sat.Lit.make 0) in
@@ -37,13 +44,18 @@ let build (miter : Miter.t) ~m_i ~target =
     let l1 = Aig.Cnf.lit env d1_lits.(i) and l2 = Aig.Cnf.lit env d2_lits.(i) in
     let a = Sat.Lit.make (Sat.Solver.new_var solver) in
     (* a -> (d1 = d2) *)
-    Sat.Solver.add_clause solver [ Sat.Lit.neg a; Sat.Lit.neg l1; l2 ];
-    Sat.Solver.add_clause solver [ Sat.Lit.neg a; l1; Sat.Lit.neg l2 ];
+    Sat.Simplify.add_clause simp [ Sat.Lit.neg a; Sat.Lit.neg l1; l2 ];
+    Sat.Simplify.add_clause simp [ Sat.Lit.neg a; l1; Sat.Lit.neg l2 ];
+    (* Selectors are assumption literals and divisor values are read from
+       models: none of them may be eliminated. *)
+    Sat.Simplify.freeze simp a;
+    Sat.Simplify.freeze simp l1;
+    Sat.Simplify.freeze simp l2;
     sel.(i) <- a;
     d1.(i) <- l1;
     d2.(i) <- l2
   done;
-  { solver; sel; d1; d2; divisors = miter.Miter.divisors }
+  { solver; simp; sel; d1; d2; divisors = miter.Miter.divisors }
 
 let n_divisors t = Array.length t.sel
 let selector t i = t.sel.(i)
@@ -51,7 +63,7 @@ let divisor t i = t.divisors.(i)
 
 let solve_with ?(budget = 0) t assumptions =
   if budget > 0 then Sat.Solver.set_budget t.solver budget else Sat.Solver.clear_budget t.solver;
-  Sat.Solver.solve ~assumptions t.solver
+  Sat.Simplify.solve ~assumptions t.simp
 
 let unsat_with ?budget t assumptions =
   match solve_with ?budget t assumptions with
@@ -66,7 +78,7 @@ let final_conflict t =
 let model_divisor_mismatch t =
   let acc = ref [] in
   for i = Array.length t.sel - 1 downto 0 do
-    if Sat.Solver.value t.solver t.d1.(i) <> Sat.Solver.value t.solver t.d2.(i) then
+    if Sat.Simplify.value t.simp t.d1.(i) <> Sat.Simplify.value t.simp t.d2.(i) then
       acc := i :: !acc
   done;
   !acc

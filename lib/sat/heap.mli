@@ -9,8 +9,13 @@ val create : score:(int -> float) -> t
     {!decrease}/{!increase} is called for members afterwards. *)
 
 val in_heap : t -> int -> bool
+(** Whether the variable is currently a member of the heap. *)
+
 val size : t -> int
+(** Number of variables in the heap. *)
+
 val is_empty : t -> bool
+(** [is_empty h] is [size h = 0]. *)
 
 val insert : t -> int -> unit
 (** Inserts a variable; no-op if already present. *)

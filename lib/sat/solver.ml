@@ -832,6 +832,30 @@ let solve ?(assumptions = []) t =
     !result
   end
 
+(* Failed-literal probing primitive for the preprocessor: assume [l] at a
+   throwaway decision level and unit-propagate.  A conflict proves [neg l]
+   at level 0, which is asserted before returning.  Unavailable in proof
+   mode (the level-0 unit would have no logged derivation). *)
+let probe_lit t l =
+  if t.proof <> None then invalid_arg "Solver.probe_lit: proof logging is on";
+  if not t.ok then false
+  else begin
+    cancel_until t 0;
+    if value_lit t l <> 0 then false
+    else begin
+      new_decision_level t;
+      unchecked_enqueue t l dummy_clause;
+      let confl = propagate t in
+      cancel_until t 0;
+      if confl != dummy_clause then begin
+        unchecked_enqueue t (Lit.neg l) dummy_clause;
+        if propagate t != dummy_clause then t.ok <- false;
+        true
+      end
+      else false
+    end
+  end
+
 let set_budget t n = t.budget <- (if n <= 0 then 0 else t.conflicts + n)
 let clear_budget t = t.budget <- 0
 

@@ -10,7 +10,17 @@
     unsatisfiable answer under assumptions, {!final_conflict} returns the
     subset of assumptions the proof used (MiniSAT's [analyze_final] /
     [conflict] vector), which is the primitive both the baseline support
-    computation and [minimize_assumptions] are built on. *)
+    computation and [minimize_assumptions] are built on.
+
+    {b Watcher discipline.}  Every clause of length ≥ 2 keeps its two
+    watched literals in positions 0 and 1 of its literal array, and a
+    clause appears on exactly the watch lists of those two literals'
+    negations.  Propagation maintains the invariant that a watched
+    literal is false only when the other watch is true (or a conflict is
+    being reported), so backtracking never needs to revisit watch lists.
+    For CNF preprocessing that must rewrite clauses outside this
+    discipline, see {!Simplify}, which buffers and simplifies clauses
+    before they enter the solver. *)
 
 type t
 
@@ -30,7 +40,10 @@ val new_vars : t -> int -> int
 (** [new_vars s n] allocates [n] variables, returning the first index. *)
 
 val nvars : t -> int
+(** Number of variables allocated so far. *)
+
 val nclauses : t -> int
+(** Number of live problem (non-learned) clauses. *)
 
 val add_clause : t -> Lit.t list -> unit
 (** Adds a clause.  Tautologies are dropped; literals false at level 0 are
@@ -38,6 +51,7 @@ val add_clause : t -> Lit.t list -> unit
     unsatisfiable state ({!okay} becomes [false]). *)
 
 val add_clause_a : t -> Lit.t array -> unit
+(** Array variant of {!add_clause}; the array is not captured. *)
 
 val okay : t -> bool
 (** [false] once the clause set is unsatisfiable without assumptions. *)
@@ -46,11 +60,21 @@ val solve : ?assumptions:Lit.t list -> t -> result
 (** Decides satisfiability of the clause set under the assumptions.
     Returns [Unknown] only when a conflict budget is active and exhausted. *)
 
+val probe_lit : t -> Lit.t -> bool
+(** Failed-literal probing primitive for {!Simplify}: assumes the literal
+    at a throwaway decision level and unit-propagates.  Returns [true] if
+    propagation conflicts — the literal has failed, and its negation is
+    asserted at level 0 before returning (possibly making {!okay} false).
+    Returns [false] (with no state change beyond backtracking to level 0)
+    otherwise.  Raises [Invalid_argument] on a proof-logging solver: the
+    asserted unit would have no logged derivation. *)
+
 val set_budget : t -> int -> unit
 (** Limits each subsequent [solve] call to the given number of conflicts;
     a non-positive value removes the limit. *)
 
 val clear_budget : t -> unit
+(** Removes any conflict budget set by {!set_budget}. *)
 
 val value : t -> Lit.t -> bool
 (** Model value of a literal after [Sat].  Unassigned model variables
@@ -66,11 +90,20 @@ val final_conflict : t -> Lit.t list
     when the clause set is unsatisfiable on its own. *)
 
 val n_conflicts : t -> int
+(** Conflicts hit over the solver's lifetime. *)
+
 val n_decisions : t -> int
+(** Decisions made over the solver's lifetime. *)
+
 val n_propagations : t -> int
+(** Literals propagated over the solver's lifetime. *)
+
 val n_solve_calls : t -> int
+(** Completed {!solve} calls. *)
 
 val n_restarts : t -> int
+(** Search restarts (Luby sequence) over the solver's lifetime. *)
+
 val n_learned : t -> int
 (** Learned clauses attached over the solver's lifetime (units included). *)
 
@@ -88,6 +121,7 @@ val avg_lbd : t -> float
     and a ["sat.solve"] trace event per {!solve} call. *)
 
 val pp_stats : Format.formatter -> t -> unit
+(** One-line rendering of the per-instance counters above. *)
 
 (** {2 Proof logging and interpolation support} *)
 

@@ -1,29 +1,66 @@
-(** Growable arrays used throughout the solver. *)
+(** Growable arrays used throughout the solver.
+
+    A vector owns a backing array that doubles on demand; unused slots
+    past {!size} hold the [dummy] element supplied at creation, so no
+    [Obj.magic] is involved and freed slots never retain live pointers. *)
 
 type 'a t
 
 val create : ?capacity:int -> dummy:'a -> unit -> 'a t
+(** [create ~dummy ()] makes an empty vector.  [dummy] fills unused
+    capacity and is returned by no accessor; [capacity] preallocates. *)
+
 val size : 'a t -> int
+(** Number of elements. *)
+
 val is_empty : 'a t -> bool
+(** [is_empty v] is [size v = 0]. *)
+
 val get : 'a t -> int -> 'a
+(** [get v i] is element [i].  Raises [Invalid_argument] unless
+    [0 <= i < size v]. *)
+
 val set : 'a t -> int -> 'a -> unit
+(** [set v i x] replaces element [i]; same bounds discipline as {!get}. *)
+
 val push : 'a t -> 'a -> unit
+(** Appends an element, growing the backing array if needed. *)
+
 val pop : 'a t -> 'a
 (** Removes and returns the last element.  Raises [Invalid_argument] when
     empty. *)
 
 val last : 'a t -> 'a
+(** The last element without removing it.  Raises [Invalid_argument] when
+    empty. *)
+
 val shrink : 'a t -> int -> unit
 (** [shrink v n] truncates [v] to its first [n] elements. *)
 
 val clear : 'a t -> unit
+(** Removes every element (capacity is retained). *)
+
 val iter : ('a -> unit) -> 'a t -> unit
+(** Applies a function to each element, first to last. *)
+
 val fold : ('b -> 'a -> 'b) -> 'b -> 'a t -> 'b
+(** [fold f init v] folds left over the elements, first to last. *)
+
 val exists : ('a -> bool) -> 'a t -> bool
+(** Whether any element satisfies the predicate. *)
+
 val to_list : 'a t -> 'a list
+(** Elements in order, as a fresh list. *)
+
 val to_array : 'a t -> 'a array
+(** Elements in order, as a fresh array of length {!size}. *)
+
 val of_list : dummy:'a -> 'a list -> 'a t
+(** Builds a vector containing the list's elements in order. *)
+
 val sort_in_place : ('a -> 'a -> int) -> 'a t -> unit
+(** Sorts the elements with the given comparison (not stable). *)
+
 val swap_remove : 'a t -> int -> unit
 (** [swap_remove v i] removes element [i] by moving the last element into its
     slot; O(1), does not preserve order. *)
@@ -32,3 +69,4 @@ val unsafe_get : 'a t -> int -> 'a
 (** No bounds check; only for validated hot paths. *)
 
 val unsafe_set : 'a t -> int -> 'a -> unit
+(** No bounds check; only for validated hot paths. *)
