@@ -19,8 +19,9 @@ type row = {
 let methods = [| Eco.Engine.Baseline; Eco.Engine.Min_assume; Eco.Engine.Exact |]
 let method_names = [| "w/o minimize_assumptions"; "w/ minimize_assumptions"; "SAT_prune+CEGAR_min" |]
 
-let config_for (spec : Gen.Suite.unit_spec) method_ =
+let config_for ?(verify = true) (spec : Gen.Suite.unit_spec) method_ =
   let c = Eco.Engine.config_of_method method_ in
+  let c = if verify then c else { c with Eco.Engine.verify = false } in
   if spec.Gen.Suite.structural then
     (* Structural units stand in for the paper's SAT timeouts: keep their
        verification budget small too, so the wall clock stays bounded (the
@@ -28,7 +29,12 @@ let config_for (spec : Gen.Suite.unit_spec) method_ =
     { c with Eco.Engine.force_structural = true; use_qbf = false; verify_budget = 10_000 }
   else c
 
-let run_unit ?(progress = true) (spec : Gen.Suite.unit_spec) =
+(* Counter deltas come from [local_snapshot]: a unit runs entirely on one
+   domain, so diffing the domain-local tallies attributes exactly this
+   unit's solver effort to its row even while other units run concurrently
+   (and in a sequential run the diffs coincide with global-snapshot
+   diffs). *)
+let run_unit ?(progress = true) ?verify (spec : Gen.Suite.unit_spec) =
   let inst = Gen.Suite.instantiate spec in
   let counters = Array.make (Array.length methods) [] in
   let results =
@@ -40,8 +46,8 @@ let run_unit ?(progress = true) (spec : Gen.Suite.unit_spec) =
             | Eco.Engine.Baseline -> "baseline"
             | Eco.Engine.Min_assume -> "min_assume"
             | Eco.Engine.Exact -> "exact");
-        let config = config_for spec m in
-        let before = Telemetry.snapshot () in
+        let config = config_for ?verify spec m in
+        let before = Telemetry.local_snapshot () in
         let outcome =
           match Eco.Engine.solve ~config inst with
           | { Eco.Engine.status = Eco.Engine.Solved; cost; gates; time; _ } ->
@@ -51,7 +57,7 @@ let run_unit ?(progress = true) (spec : Gen.Suite.unit_spec) =
             Printf.eprintf "  %s: %s\n%!" spec.Gen.Suite.u_name (Printexc.to_string e);
             None
         in
-        counters.(mi) <- Telemetry.diff before (Telemetry.snapshot ());
+        counters.(mi) <- Telemetry.diff before (Telemetry.local_snapshot ());
         outcome)
       methods
   in
@@ -148,9 +154,31 @@ let write_json path rows =
   close_out oc;
   Printf.printf "telemetry JSON written to %s\n" path
 
-let run ?(units = Gen.Suite.all) ?(json = "BENCH_table1.json") () =
+(* A unit whose job crashed outright (pool-level exception isolation, not
+   the per-method catch inside [run_unit] — e.g. [instantiate] itself
+   failing) still yields a row, so one bad unit cannot kill the sweep. *)
+let failed_row (spec : Gen.Suite.unit_spec) exn =
+  Printf.eprintf "  %s: FAILED: %s\n%!" spec.Gen.Suite.u_name (Printexc.to_string exn);
+  {
+    unit_name = spec.Gen.Suite.u_name;
+    pis = 0;
+    pos = 0;
+    gates_impl = 0;
+    gates_spec = 0;
+    n_targets = spec.Gen.Suite.n_targets;
+    results = Array.map (fun _ -> None) methods;
+    counters = Array.make (Array.length methods) [];
+  }
+
+let run ?(units = Gen.Suite.all) ?(json = "BENCH_table1.json") ?(jobs = 1) ?verify () =
   Printf.printf "\n=== Table 1: ICCAD'17-style suite, three configurations ===\n";
-  let rows = List.map run_unit units in
+  if jobs > 1 then Printf.eprintf "  (parallel sweep: %d worker domains)\n%!" jobs;
+  let rows =
+    List.map2
+      (fun spec -> function Ok row -> row | Error e -> failed_row spec e)
+      units
+      (Pool.map ~jobs (run_unit ?verify) units)
+  in
   print_rows rows;
   write_json json rows;
   rows

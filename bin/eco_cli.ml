@@ -140,6 +140,89 @@ let gen_cmd =
     (Cmd.info "gen" ~doc:"Materialize a built-in benchmark unit as Verilog + weight files.")
     Term.(term_result (const run $ unit_name $ dir))
 
+let batch_cmd =
+  let units =
+    Arg.(value & pos_all string [] & info [] ~docv:"UNIT" ~doc:"Benchmark units to solve (unit1 .. unit20); all of them when none is given.")
+  in
+  let jobs =
+    Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Worker domains; each unit solves on one domain, units run concurrently.  1 (the default) runs sequentially in-process.")
+  in
+  let method_ =
+    Arg.(value & opt method_conv Eco.Engine.Min_assume & info [ "method"; "m" ] ~docv:"METHOD" ~doc:"Support computation: baseline, min_assume (default) or exact.")
+  in
+  let no_verify =
+    Arg.(value & flag & info [ "no-verify" ] ~doc:"Skip the verification ladder.")
+  in
+  let no_simplify =
+    Arg.(value & flag & info [ "no-simplify" ] ~doc:"Disable SatELite-style CNF preprocessing in every SAT call.")
+  in
+  let stats =
+    Arg.(value & flag & info [ "stats" ] ~doc:"Print merged telemetry (counter totals and per-domain-merged phase timers) after the batch.")
+  in
+  let run units jobs method_ no_verify no_simplify stats =
+    try
+      if no_simplify then Sat.Simplify.enabled := false;
+      if jobs < 1 then failwith "-j expects a positive worker count";
+      let specs =
+        match units with
+        | [] -> Gen.Suite.all
+        | names ->
+          List.map
+            (fun u ->
+              match Gen.Suite.find u with
+              | exception Not_found -> failwith (Printf.sprintf "unknown unit %S" u)
+              | spec -> spec)
+            names
+      in
+      let config_for (spec : Gen.Suite.unit_spec) =
+        let c = Eco.Engine.config_of_method method_ in
+        let c = if no_verify then { c with Eco.Engine.verify = false } else c in
+        if spec.Gen.Suite.structural then
+          { c with Eco.Engine.force_structural = true; use_qbf = false; verify_budget = 10_000 }
+        else c
+      in
+      let solve_unit spec =
+        let inst = Gen.Suite.instantiate spec in
+        Eco.Engine.solve ~config:(config_for spec) inst
+      in
+      let outcomes = Pool.map ~jobs solve_unit specs in
+      Format.printf "%-8s %-12s %7s %7s %8s %s@." "unit" "status" "cost" "gates" "time(s)"
+        "verified";
+      let failures = ref 0 in
+      List.iter2
+        (fun (spec : Gen.Suite.unit_spec) result ->
+          match result with
+          | Ok (o : Eco.Engine.outcome) ->
+            let status =
+              match o.Eco.Engine.status with
+              | Eco.Engine.Solved -> "solved"
+              | Eco.Engine.Infeasible -> "infeasible"
+              | Eco.Engine.Failed _ ->
+                incr failures;
+                "failed"
+            in
+            Format.printf "%-8s %-12s %7d %7d %8.2f %s@." spec.Gen.Suite.u_name status
+              o.Eco.Engine.cost o.Eco.Engine.gates o.Eco.Engine.time
+              (match o.Eco.Engine.verified with
+              | Some true -> "yes"
+              | Some false -> "NO"
+              | None -> "-")
+          | Error e ->
+            (* Per-job exception isolation: a crashing unit is one Failed
+               row, not the end of the batch. *)
+            incr failures;
+            Format.printf "%-8s %-12s %7s %7s %8s %s@." spec.Gen.Suite.u_name
+              ("failed: " ^ Printexc.to_string e) "-" "-" "-" "-")
+        specs outcomes;
+      if stats then Format.printf "%a@." Telemetry.pp_summary ();
+      if !failures = 0 then Ok ()
+      else Error (`Msg (Printf.sprintf "%d unit(s) failed" !failures))
+    with Failure msg | Sys_error msg -> Error (`Msg msg)
+  in
+  Cmd.v
+    (Cmd.info "batch" ~doc:"Solve a list of benchmark units, optionally in parallel over worker domains.")
+    Term.(term_result (const run $ units $ jobs $ method_ $ no_verify $ no_simplify $ stats))
+
 let suite_cmd =
   let run () =
     Format.printf "%-8s %-14s %-8s %-5s %-6s %s@." "unit" "family" "targets" "dist" "struct" "gates(impl)";
@@ -192,6 +275,8 @@ let () =
       `Pre "  eco-patch solve --unit unit7 --stats";
       `P "Patch a netlist pair and write the result:";
       `Pre "  eco-patch solve --impl impl.v --spec spec.v -t w1 -o patched.v";
+      `P "Solve several benchmark units concurrently on four worker domains:";
+      `Pre "  eco-patch batch -j 4 unit1 unit2 unit3 unit4";
     ]
   in
   let info =
@@ -202,4 +287,4 @@ let () =
   (* A bare `eco-patch` invocation prints the manual and exits 0 instead of
      taking the usage-error path. *)
   let default = Term.(ret (const (`Help (`Auto, None)))) in
-  exit (Cmd.eval (Cmd.group ~default info [ solve_cmd; gen_cmd; suite_cmd ]))
+  exit (Cmd.eval (Cmd.group ~default info [ solve_cmd; gen_cmd; suite_cmd; batch_cmd ]))

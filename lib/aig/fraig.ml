@@ -56,7 +56,7 @@ let merge_pass ~n0 ~budget ~max_tries ~max_disproofs ~max_queries ~stop_at mgr r
     else if x = Graph.true_ then false
     else if
       !stats_disproved >= max_disproofs || !queries >= max_queries
-      || (stop_at > 0.0 && Unix.gettimeofday () > stop_at)
+      || Deadline.expired stop_at
     then false
     else begin
       incr queries;
@@ -122,7 +122,7 @@ let merge_pass ~n0 ~budget ~max_tries ~max_disproofs ~max_queries ~stop_at mgr r
 
 let sweep ?(rounds = 8) ?(seed = 0xF4A16) ?(budget = 2000) ?(max_tries = 4)
     ?(max_disproofs = 500) ?(max_queries = max_int) ?(max_passes = 4) ?(deadline = 0.0) mgr =
-  let stop_at = if deadline > 0.0 then Unix.gettimeofday () +. deadline else 0.0 in
+  let stop_at = Deadline.after deadline in
   let outs = Array.to_list (Graph.outputs mgr) in
   let n0 = Graph.num_nodes mgr in
   let reachable = Graph.tfi_mark mgr outs in

@@ -49,11 +49,25 @@ type outcome = {
   notes : (string * int) list;
 }
 
-(* Total weight of the distinct support signals used across all patches. *)
-let union_cost patches =
+(* Total weight of the distinct support signals used across all patches.
+   Two patches can carry different costs for the same signal (e.g. one
+   from divisor pricing, one from a CEGAR_min improvement); the conflict
+   is resolved by the netlist-declared weight when available and by the
+   minimum carried cost otherwise — never by patch-list order. *)
+let union_cost ?weights patches =
   let tbl = Hashtbl.create 64 in
   List.iter
-    (fun p -> List.iter (fun (name, c) -> Hashtbl.replace tbl name c) p.Patch.support)
+    (fun p ->
+      List.iter
+        (fun (name, c) ->
+          let c =
+            match weights with
+            | Some w -> Netlist.Weights.cost w name
+            | None -> (
+              match Hashtbl.find_opt tbl name with Some c0 -> min c0 c | None -> c)
+          in
+          Hashtbl.replace tbl name c)
+        p.Patch.support)
     patches;
   Hashtbl.fold (fun _ c acc -> acc + c) tbl 0
 
@@ -110,37 +124,57 @@ let sat_pipeline config (miter : Miter.t) notes sat_calls patches =
       let tc = Two_copy.build miter ~m_i ~target:name in
       let budget = config.sat_budget in
       let selection =
-        Telemetry.with_phase "support" @@ fun () ->
-        match config.method_ with
-        | Baseline -> Support.baseline ~budget tc
-        | Min_assume -> Support.with_min_assume ~budget ~last_gasp:config.last_gasp tc
-        | Exact -> (
-          (* Warm start: the minimal (not minimum) support doubles as the
-             incumbent upper bound for the exact search; if the exact loop
-             exhausts its budget the incumbent stands (the paper's
-             local-optimum behaviour on multi-target units). *)
-          let incumbent =
-            Support.with_min_assume ~budget ~last_gasp:config.last_gasp tc
-          in
-          match
-            Sat_prune.minimum_support ~budget ~max_iterations:150
-              ~deadline:config.sat_prune_deadline ?incumbent tc
-          with
-          | o ->
-            notes := ("sat_prune_iterations", o.Sat_prune.iterations) :: !notes;
-            o.Sat_prune.selection
-          | exception Min_assume.Budget_exhausted when incumbent <> None ->
-            notes := ("sat_prune_fallback", 1) :: !notes;
-            incumbent)
+        (* The two-copy solver calls are charged whether or not the search
+           finishes: an aborted support search is still solver effort. *)
+        match
+          Telemetry.with_phase "support" @@ fun () ->
+          match config.method_ with
+          | Baseline -> Support.baseline ~budget tc
+          | Min_assume -> Support.with_min_assume ~budget ~last_gasp:config.last_gasp tc
+          | Exact -> (
+            (* Warm start: the minimal (not minimum) support doubles as the
+               incumbent upper bound for the exact search; if the exact loop
+               exhausts its budget the incumbent stands (the paper's
+               local-optimum behaviour on multi-target units). *)
+            let incumbent =
+              Support.with_min_assume ~budget ~last_gasp:config.last_gasp tc
+            in
+            match
+              Sat_prune.minimum_support ~budget ~max_iterations:150
+                ~deadline:config.sat_prune_deadline ?incumbent tc
+            with
+            | o ->
+              notes := ("sat_prune_iterations", o.Sat_prune.iterations) :: !notes;
+              o.Sat_prune.selection
+            | exception Min_assume.Budget_exhausted when incumbent <> None ->
+              notes := ("sat_prune_fallback", 1) :: !notes;
+              incumbent)
+        with
+        | selection ->
+          sat_calls := !sat_calls + Two_copy.solver_calls tc;
+          selection
+        | exception Min_assume.Budget_exhausted ->
+          sat_calls := !sat_calls + Two_copy.solver_calls tc;
+          raise Min_assume.Budget_exhausted
       in
-      sat_calls := !sat_calls + Two_copy.solver_calls tc;
       match selection with
       | None -> raise (Step_infeasible name)
       | Some sel ->
         let pf =
-          Telemetry.with_phase "patch_fun" @@ fun () ->
-          Patch_fun.compute ~budget ~max_cubes:config.max_cubes ~deadline:config.patch_deadline
-            miter ~m_i ~target:name ~chosen:sel.Support.indices
+          match
+            Telemetry.with_phase "patch_fun" @@ fun () ->
+            Patch_fun.compute ~budget ~max_cubes:config.max_cubes
+              ~deadline:config.patch_deadline miter ~m_i ~target:name
+              ~chosen:sel.Support.indices
+          with
+          | pf -> pf
+          | exception Patch_fun.Exhausted partial ->
+            (* The aborted enumeration's SAT calls must still reach the
+               outcome and the eco.sat_calls counter (the structural
+               fallback row would otherwise under-report effort). *)
+            sat_calls := !sat_calls + partial.Patch_fun.partial_sat_calls;
+            notes := ("aborted_cubes_" ^ name, partial.Patch_fun.partial_cubes) :: !notes;
+            raise Min_assume.Budget_exhausted
         in
         sat_calls := !sat_calls + pf.Patch_fun.sat_calls;
         notes := ("cubes_" ^ name, pf.Patch_fun.cubes_enumerated) :: !notes;
@@ -307,7 +341,7 @@ let solve ?(config = default_config) inst =
               | Infeasible -> "infeasible"
               | Failed m -> "failed: " ^ m) );
           ("patches", Telemetry.Value.Int (List.length patches));
-          ("cost", Telemetry.Value.Int (union_cost patches));
+          ("cost", Telemetry.Value.Int (union_cost ~weights:inst.Instance.weights patches));
           ("gates", Telemetry.Value.Int (total_gates patches));
           ("sat_calls", Telemetry.Value.Int !sat_calls);
           ("structural", Telemetry.Value.Bool used_structural);
@@ -318,7 +352,7 @@ let solve ?(config = default_config) inst =
     {
       status;
       patches;
-      cost = union_cost patches;
+      cost = union_cost ~weights:inst.Instance.weights patches;
       gates = total_gates patches;
       time = Unix.gettimeofday () -. t0;
       verified;

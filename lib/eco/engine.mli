@@ -38,6 +38,13 @@ type config = {
 val config_of_method : method_ -> config
 val default_config : config
 
+val union_cost : ?weights:Netlist.Weights.weights -> Patch.t list -> int
+(** Total weight of the distinct support signals across the patches.
+    When two patches carry different costs for the same signal, the
+    netlist-declared [weights] entry wins; without [weights] the minimum
+    carried cost is used — the result never depends on patch-list
+    order. *)
+
 type status = Solved | Infeasible | Failed of string
 
 type outcome = {

@@ -4,13 +4,18 @@ type result = {
   sat_calls : int;
 }
 
+type partial = { partial_sat_calls : int; partial_cubes : int }
+
+exception Exhausted of partial
+
 let tc_runs = Telemetry.Counter.make "patch_fun.runs"
+let tc_aborts = Telemetry.Counter.make "patch_fun.aborts"
 let tc_cubes = Telemetry.Counter.make "patch_fun.cubes"
 let tc_sat_calls = Telemetry.Counter.make "patch_fun.sat_calls"
 
 let compute ?(budget = 0) ?(max_cubes = 50_000) ?(deadline = 0.0) (miter : Miter.t) ~m_i ~target
     ~chosen =
-  let stop_at = if deadline > 0.0 then Unix.gettimeofday () +. deadline else 0.0 in
+  let stop_at = Deadline.after deadline in
   let solver = Sat.Solver.create () in
   (* Preprocessing stays opt-out here: cube enumeration consumes onset
      models, and variable elimination perturbs which witness each solve
@@ -47,9 +52,22 @@ let compute ?(budget = 0) ?(max_cubes = 50_000) ?(deadline = 0.0) (miter : Miter
   let n_cubes = ref 0 in
   let tautology = ref false in
   let continue = ref true in
+  (* Abort paths (budget, cube cap, deadline) still represent real solver
+     effort: record the partial counts in the telemetry counters and hand
+     them to the caller, so structural-fallback rows report the SAT calls
+     that were actually made. *)
+  let give_up () =
+    Telemetry.Counter.incr tc_aborts;
+    Telemetry.Counter.add tc_cubes !n_cubes;
+    Telemetry.Counter.add tc_sat_calls (Sat.Solver.n_solve_calls solver);
+    raise
+      (Exhausted
+         { partial_sat_calls = Sat.Solver.n_solve_calls solver; partial_cubes = !n_cubes })
+  in
+  try
   while !continue do
     if !n_cubes > max_cubes then raise Min_assume.Budget_exhausted;
-    if stop_at > 0.0 && Unix.gettimeofday () > stop_at then raise Min_assume.Budget_exhausted;
+    if Deadline.expired stop_at then raise Min_assume.Budget_exhausted;
     match solve onset_assumptions with
     | Sat.Solver.Unsat -> continue := false
     | Sat.Solver.Unknown -> raise Min_assume.Budget_exhausted
@@ -100,3 +118,4 @@ let compute ?(budget = 0) ?(max_cubes = 50_000) ?(deadline = 0.0) (miter : Miter
   Telemetry.Counter.add tc_cubes !n_cubes;
   Telemetry.Counter.add tc_sat_calls (Sat.Solver.n_solve_calls solver);
   { patch; cubes_enumerated = !n_cubes; sat_calls = Sat.Solver.n_solve_calls solver }
+  with Min_assume.Budget_exhausted -> give_up ()

@@ -14,6 +14,16 @@ type result = {
   sat_calls : int;
 }
 
+type partial = { partial_sat_calls : int; partial_cubes : int }
+(** Solver effort spent before an aborted enumeration gave up. *)
+
+exception Exhausted of partial
+(** Raised instead of [Min_assume.Budget_exhausted] when {!compute} aborts
+    (conflict budget, cube cap, or deadline), carrying the SAT calls and
+    cubes already spent so the caller can account for them — an aborted
+    enumeration is real solver effort, and dropping it made
+    structural-fallback rows under-report [sat_calls]. *)
+
 val compute :
   ?budget:int ->
   ?max_cubes:int ->
@@ -26,6 +36,6 @@ val compute :
 (** [chosen] are divisor indices into the miter's divisor array.  The
     divisor subset must be sufficient (expression (2) unsatisfiable), as
     established by {!Support} — otherwise the enumeration detects the
-    inconsistency and raises [Failure].  Raises
-    {!Min_assume.Budget_exhausted} on conflict-budget timeout, cube-cap
-    overflow, or when [deadline] (wall-clock seconds) passes. *)
+    inconsistency and raises [Failure].  Raises {!Exhausted} (with the
+    partial effort counts) on conflict-budget timeout, cube-cap overflow,
+    or when [deadline] (wall-clock seconds, see {!Deadline}) passes. *)

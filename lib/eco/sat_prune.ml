@@ -8,15 +8,14 @@ let minimum_support ?budget ?(max_iterations = 2000) ?(deadline = 0.0) ?incumben
   let n = Two_copy.n_divisors tc in
   let weights = Array.init n (fun i -> (Two_copy.divisor tc i).Miter.div_cost) in
   let calls0 = Two_copy.solver_calls tc in
-  let t0 = Unix.gettimeofday () in
+  let stop_at = Deadline.after deadline in
   let clauses = ref [] in
   let iterations = ref 0 in
   let result = ref None in
   while !result = None do
     incr iterations;
     if !iterations > max_iterations then raise Min_assume.Budget_exhausted;
-    if deadline > 0.0 && Unix.gettimeofday () -. t0 > deadline then
-      raise Min_assume.Budget_exhausted;
+    if Deadline.expired stop_at then raise Min_assume.Budget_exhausted;
     match
       try Hitting_set.minimum ~weights !clauses
       with Hitting_set.Node_limit -> raise Min_assume.Budget_exhausted

@@ -16,32 +16,98 @@ module Value = struct
     | Str s -> Format.fprintf ppf "%S" s
 end
 
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+(* Domain-local state.
+
+   Counters are global atomics (adds commute, so totals are independent of
+   the domain interleaving), but everything order- or nesting-sensitive is
+   kept per domain: the phase stack and timer cells, the per-domain event
+   sequence number, and a per-domain tally of counter contributions that
+   backs [local_snapshot].  Each domain's state is registered in a global
+   list (under [registry_mutex]) so read-side operations can merge. *)
+
+type phase_cell = { mutable calls : int; mutable seconds : float }
+
+type domain_state = {
+  mutable id : int;
+  mutable stack : string list;
+  phase_table : (string, phase_cell) Hashtbl.t;
+  local_counters : (string, int ref) Hashtbl.t;
+  mutable seq : int;
+}
+
+let registry_mutex = Mutex.create ()
+let domain_states : domain_state list ref = ref []
+let next_domain_id = Atomic.make 0
+
+let dls_key =
+  Domain.DLS.new_key (fun () ->
+      let st =
+        {
+          id = Atomic.fetch_and_add next_domain_id 1;
+          stack = [];
+          phase_table = Hashtbl.create 32;
+          local_counters = Hashtbl.create 64;
+          seq = 0;
+        }
+      in
+      with_lock registry_mutex (fun () -> domain_states := st :: !domain_states);
+      st)
+
+let local () = Domain.DLS.get dls_key
+let domain_id () = (local ()).id
+let set_domain_id id = (local ()).id <- id
+
 module Counter = struct
-  type t = { name : string; mutable v : int }
+  type t = { name : string; cell : int Atomic.t }
 
   let registry : (string, t) Hashtbl.t = Hashtbl.create 64
 
   let make name =
-    match Hashtbl.find_opt registry name with
-    | Some c -> c
-    | None ->
-      let c = { name; v = 0 } in
-      Hashtbl.add registry name c;
-      c
+    with_lock registry_mutex (fun () ->
+        match Hashtbl.find_opt registry name with
+        | Some c -> c
+        | None ->
+          let c = { name; cell = Atomic.make 0 } in
+          Hashtbl.add registry name c;
+          c)
 
-  let incr c = c.v <- c.v + 1
-  let add c n = c.v <- c.v + n
-  let value c = c.v
+  let add c n =
+    ignore (Atomic.fetch_and_add c.cell n);
+    let st = local () in
+    match Hashtbl.find_opt st.local_counters c.name with
+    | Some r -> r := !r + n
+    | None -> Hashtbl.add st.local_counters c.name (ref n)
+
+  let incr c = add c 1
+  let value c = Atomic.get c.cell
   let name c = c.name
 end
 
 let bump name n = Counter.add (Counter.make name) n
-let counter_value name = match Hashtbl.find_opt Counter.registry name with Some c -> c.Counter.v | None -> 0
+
+let counter_value name =
+  match
+    with_lock registry_mutex (fun () -> Hashtbl.find_opt Counter.registry name)
+  with
+  | Some c -> Atomic.get c.Counter.cell
+  | None -> 0
 
 type snapshot = (string * int) list
 
 let snapshot () =
-  Hashtbl.fold (fun name c acc -> (name, c.Counter.v) :: acc) Counter.registry []
+  with_lock registry_mutex (fun () ->
+      Hashtbl.fold
+        (fun name c acc -> (name, Atomic.get c.Counter.cell) :: acc)
+        Counter.registry [])
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let local_snapshot () =
+  let st = local () in
+  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) st.local_counters []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let diff before after =
@@ -55,65 +121,90 @@ let diff before after =
 
 (* Phase timers *)
 
-type phase_cell = { mutable calls : int; mutable seconds : float }
 type phase_stat = { path : string; calls : int; seconds : float }
 
-let phase_table : (string, phase_cell) Hashtbl.t = Hashtbl.create 32
-let phase_stack : string list ref = ref []
-
-let current_phase () = match !phase_stack with [] -> "" | p :: _ -> p
+let current_phase () = match (local ()).stack with [] -> "" | p :: _ -> p
 
 let with_phase name f =
   if String.contains name '/' then invalid_arg "Telemetry.with_phase: '/' in phase name";
-  let path = match !phase_stack with [] -> name | p :: _ -> p ^ "/" ^ name in
+  let st = local () in
+  let path = match st.stack with [] -> name | p :: _ -> p ^ "/" ^ name in
   let cell =
-    match Hashtbl.find_opt phase_table path with
+    match Hashtbl.find_opt st.phase_table path with
     | Some c -> c
     | None ->
       let c = { calls = 0; seconds = 0.0 } in
-      Hashtbl.add phase_table path c;
+      Hashtbl.add st.phase_table path c;
       c
   in
-  phase_stack := path :: !phase_stack;
+  st.stack <- path :: st.stack;
   let t0 = Unix.gettimeofday () in
   Fun.protect
     ~finally:(fun () ->
       cell.calls <- cell.calls + 1;
       cell.seconds <- cell.seconds +. (Unix.gettimeofday () -. t0);
-      phase_stack := List.tl !phase_stack)
+      st.stack <- List.tl st.stack)
     f
 
+(* Merged view over every domain's private table.  Reading cells that
+   another live domain is still updating is a benign race (OCaml's memory
+   model makes it memory-safe; the values may simply be a moment stale) —
+   callers report timers after their workers have finished. *)
 let phases () =
+  let merged : (string, phase_cell) Hashtbl.t = Hashtbl.create 32 in
+  with_lock registry_mutex (fun () ->
+      List.iter
+        (fun st ->
+          Hashtbl.iter
+            (fun path (c : phase_cell) ->
+              match Hashtbl.find_opt merged path with
+              | Some m ->
+                m.calls <- m.calls + c.calls;
+                m.seconds <- m.seconds +. c.seconds
+              | None -> Hashtbl.add merged path { calls = c.calls; seconds = c.seconds })
+            st.phase_table)
+        !domain_states);
   Hashtbl.fold
     (fun path (c : phase_cell) acc -> { path; calls = c.calls; seconds = c.seconds } :: acc)
-    phase_table []
+    merged []
   |> List.sort (fun a b -> String.compare a.path b.path)
 
 (* Trace events *)
 
-type event = { seq : int; phase : string; name : string; fields : (string * Value.t) list }
+type event = {
+  domain : int;
+  seq : int;
+  phase : string;
+  name : string;
+  fields : (string * Value.t) list;
+}
 
+(* The ring, the sink and [set_ring_capacity] share one mutex: an event is
+   appended to the ring and written to the sink atomically, so JSONL
+   output stays line-correct under -j N. *)
+let ring_mutex = Mutex.create ()
 let ring_capacity = ref 4096
 let ring : event option array ref = ref (Array.make !ring_capacity None)
 let ring_next = ref 0 (* next write slot *)
 let ring_count = ref 0
-let seq_counter = ref 0
 let sink : (string -> unit) option ref = ref None
 let sink_closer : (unit -> unit) option ref = ref None
 
 let set_ring_capacity n =
   if n <= 0 then invalid_arg "Telemetry.set_ring_capacity";
-  ring_capacity := n;
-  ring := Array.make n None;
-  ring_next := 0;
-  ring_count := 0
+  with_lock ring_mutex (fun () ->
+      ring_capacity := n;
+      ring := Array.make n None;
+      ring_next := 0;
+      ring_count := 0)
 
 let events () =
-  let cap = !ring_capacity in
-  let n = !ring_count in
-  let first = (!ring_next - n + cap) mod cap in
-  List.init n (fun i ->
-      match !ring.((first + i) mod cap) with Some e -> e | None -> assert false)
+  with_lock ring_mutex (fun () ->
+      let cap = !ring_capacity in
+      let n = !ring_count in
+      let first = (!ring_next - n + cap) mod cap in
+      List.init n (fun i ->
+          match !ring.((first + i) mod cap) with Some e -> e | None -> assert false))
 
 module Json = struct
   let escape s =
@@ -149,8 +240,8 @@ module Json = struct
       String.concat ","
         (List.map (fun (k, v) -> Printf.sprintf "\"%s\":%s" (escape k) (of_value v)) e.fields)
     in
-    Printf.sprintf "{\"seq\":%d,\"phase\":\"%s\",\"name\":\"%s\",\"fields\":{%s}}" e.seq
-      (escape e.phase) (escape e.name) fields
+    Printf.sprintf "{\"domain\":%d,\"seq\":%d,\"phase\":\"%s\",\"name\":\"%s\",\"fields\":{%s}}"
+      e.domain e.seq (escape e.phase) (escape e.name) fields
 
   (* Minimal recursive-descent parser for the subset emitted above. *)
   type cursor = { src : string; mutable pos : int }
@@ -256,9 +347,13 @@ module Json = struct
 
   let parse_event line =
     let cur = { src = line; pos = 0 } in
-    let seq = ref (-1) and phase = ref "" and name = ref "" and fields = ref [] in
+    let domain = ref 0 and seq = ref (-1) and phase = ref "" and name = ref "" and fields = ref [] in
     parse_object cur (fun key ->
         match key with
+        | "domain" -> (
+          match parse_value cur with
+          | Value.Int i -> domain := i
+          | _ -> error cur "domain not an int")
         | "seq" -> (
           match parse_value cur with Value.Int i -> seq := i | _ -> error cur "seq not an int")
         | "phase" -> (
@@ -270,44 +365,56 @@ module Json = struct
     skip_ws cur;
     if cur.pos <> String.length line then error cur "trailing characters";
     if !seq < 0 then error cur "missing seq";
-    { seq = !seq; phase = !phase; name = !name; fields = List.rev !fields }
+    { domain = !domain; seq = !seq; phase = !phase; name = !name; fields = List.rev !fields }
 end
 
 let event ?(fields = []) name =
-  let e = { seq = !seq_counter; phase = current_phase (); name; fields } in
-  incr seq_counter;
-  !ring.(!ring_next) <- Some e;
-  ring_next := (!ring_next + 1) mod !ring_capacity;
-  if !ring_count < !ring_capacity then incr ring_count;
-  match !sink with None -> () | Some write -> write (Json.of_event e)
+  let st = local () in
+  let e =
+    { domain = st.id; seq = st.seq; phase = current_phase (); name; fields }
+  in
+  st.seq <- st.seq + 1;
+  with_lock ring_mutex (fun () ->
+      !ring.(!ring_next) <- Some e;
+      ring_next := (!ring_next + 1) mod !ring_capacity;
+      if !ring_count < !ring_capacity then incr ring_count;
+      match !sink with None -> () | Some write -> write (Json.of_event e))
 
 let close_sink () =
-  (match !sink_closer with Some close -> close () | None -> ());
-  sink := None;
-  sink_closer := None
+  with_lock ring_mutex (fun () ->
+      (match !sink_closer with Some close -> close () | None -> ());
+      sink := None;
+      sink_closer := None)
 
 let set_sink write =
   close_sink ();
-  sink := Some write
+  with_lock ring_mutex (fun () -> sink := Some write)
 
 let sink_to_file path =
   close_sink ();
   let oc = open_out path in
-  sink :=
-    Some
-      (fun line ->
-        output_string oc line;
-        output_char oc '\n');
-  sink_closer := Some (fun () -> close_out oc)
+  with_lock ring_mutex (fun () ->
+      sink :=
+        Some
+          (fun line ->
+            output_string oc line;
+            output_char oc '\n');
+      sink_closer := Some (fun () -> close_out oc))
 
 let reset () =
-  Hashtbl.iter (fun _ c -> c.Counter.v <- 0) Counter.registry;
-  Hashtbl.reset phase_table;
-  phase_stack := [];
-  Array.fill !ring 0 !ring_capacity None;
-  ring_next := 0;
-  ring_count := 0;
-  seq_counter := 0
+  with_lock registry_mutex (fun () ->
+      Hashtbl.iter (fun _ c -> Atomic.set c.Counter.cell 0) Counter.registry;
+      List.iter
+        (fun st ->
+          Hashtbl.reset st.phase_table;
+          Hashtbl.reset st.local_counters;
+          st.stack <- [];
+          st.seq <- 0)
+        !domain_states);
+  with_lock ring_mutex (fun () ->
+      Array.fill !ring 0 !ring_capacity None;
+      ring_next := 0;
+      ring_count := 0)
 
 let pp_summary ppf () =
   let counters = List.filter (fun (_, v) -> v <> 0) (snapshot ()) in

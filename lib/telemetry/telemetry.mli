@@ -1,5 +1,5 @@
 (** Deterministic counters, hierarchical phase timers and structured trace
-    events for the SAT/ECO pipeline.
+    events for the SAT/ECO pipeline — safe to use from multiple domains.
 
     Three independent facilities share one process-global registry:
 
@@ -7,15 +7,31 @@
       depend only on the work performed (never on the clock), so a fixed
       seed/config produces byte-identical {!snapshot}s across runs; tests
       assert on {!diff}s of snapshots taken around the region of interest.
+      Counter cells are [Atomic.t]: atomic adds commute, so the totals of a
+      [-j N] run are byte-identical to the sequential run of the same work.
+      Each domain additionally tallies its own contributions, readable via
+      {!local_snapshot} — that is how the bench harness attributes counter
+      deltas to a unit even while other units run concurrently.
     - {b Phase timers} — wall-clock timers keyed by a hierarchical path
       ("eco/support/patch_fun") maintained by dynamically-scoped
-      {!with_phase} nesting.  Timers are intentionally segregated from
-      counters: they are the one non-deterministic part of the summary.
+      {!with_phase} nesting.  The phase stack and timer cells are
+      domain-local ([Domain.DLS]); {!phases} merges every domain's cells at
+      read time.  Timers are intentionally segregated from counters: they
+      are the one non-deterministic part of the summary.
     - {b Trace events} — structured records kept in a bounded ring buffer
       and, when a sink is installed, streamed as JSON Lines.  Events carry
-      the phase path current at emission time plus a deterministic sequence
-      number; they contain no timestamps, so two traces of identical runs
-      diff clean.
+      the emitting domain's id and a per-domain deterministic sequence
+      number (and no timestamps), so filtering a [-j N] trace by domain
+      yields streams that diff clean against each other across identical
+      runs.  Ring and sink sit behind one mutex, so JSONL output is
+      line-atomic.
+
+    Concurrency summary: counter updates are lock-free; phase timers touch
+    only domain-local state; the event ring/sink serialise on a mutex; the
+    registry of counters and domain states serialises on a second mutex.
+    {!reset} and {!set_ring_capacity} assume quiescence (no other domain
+    concurrently recording).  A sink callback runs with the ring mutex held
+    and must not itself call {!event}.
 
     The module has no dependencies outside the OCaml distribution and is
     safe to link at the very bottom of the library stack (the SAT solver
@@ -53,31 +69,52 @@ type snapshot = (string * int) list
 (** Counter names and values, sorted by name. *)
 
 val snapshot : unit -> snapshot
+(** Process-wide totals across all domains. *)
+
+val local_snapshot : unit -> snapshot
+(** The calling domain's cumulative contributions only.  In a
+    single-domain run, {!diff}s of [local_snapshot] equal diffs of
+    {!snapshot}; in a [-j N] run they isolate the work performed on this
+    domain, unpolluted by concurrent jobs. *)
 
 val diff : snapshot -> snapshot -> snapshot
 (** [diff before after] — per-counter deltas, omitting zero entries.
     Counters absent from [before] count from 0. *)
 
+(** {2 Domains} *)
+
+val domain_id : unit -> int
+(** Telemetry id of the calling domain.  Ids are assigned on first use
+    (the initial domain, touching telemetry first, gets 0) and can be
+    overridden with {!set_domain_id} — the worker pool pins worker [i] to
+    id [i + 1] so traces are stable across runs. *)
+
+val set_domain_id : int -> unit
+
 (** {2 Phase timers} *)
 
 val with_phase : string -> (unit -> 'a) -> 'a
-(** Runs the thunk with the named phase pushed onto the phase stack;
-    accumulates its wall-clock time (and a call count) under the full
-    path "outer/inner".  Exception-safe.  [name] must not contain '/'. *)
+(** Runs the thunk with the named phase pushed onto the calling domain's
+    phase stack; accumulates its wall-clock time (and a call count) under
+    the full path "outer/inner".  Exception-safe.  [name] must not
+    contain '/'. *)
 
 val current_phase : unit -> string
-(** Full path of the innermost active phase; [""] outside any phase. *)
+(** Full path of the calling domain's innermost active phase; [""] outside
+    any phase. *)
 
 type phase_stat = { path : string; calls : int; seconds : float }
 
 val phases : unit -> phase_stat list
-(** All phases observed so far, sorted by path (parents before their
-    children).  Seconds are cumulative and include nested phases. *)
+(** All phases observed so far, merged across domains (calls and seconds
+    summed per path), sorted by path (parents before their children).
+    Seconds are cumulative and include nested phases. *)
 
 (** {2 Trace events} *)
 
 type event = {
-  seq : int;  (** deterministic emission index, starting at 0 *)
+  domain : int;  (** telemetry id of the emitting domain *)
+  seq : int;  (** deterministic per-domain emission index, starting at 0 *)
   phase : string;  (** phase path at emission time *)
   name : string;
   fields : (string * Value.t) list;
@@ -88,7 +125,7 @@ val event : ?fields:(string * Value.t) list -> string -> unit
     is installed. *)
 
 val events : unit -> event list
-(** Contents of the ring buffer, oldest first. *)
+(** Contents of the ring buffer, in emission order (oldest first). *)
 
 val set_ring_capacity : int -> unit
 (** Resizes the ring (default 4096), discarding buffered events. *)
@@ -99,7 +136,7 @@ val sink_to_file : string -> unit
 
 val set_sink : (string -> unit) -> unit
 (** Installs a custom sink; it receives one JSON line (no newline) per
-    event. *)
+    event, serialised under the ring mutex (it must not call {!event}). *)
 
 val close_sink : unit -> unit
 
@@ -109,18 +146,21 @@ module Json : sig
 
   val of_event : event -> string
   (** One JSON object, no trailing newline:
-      [{"seq":0,"phase":"eco/support","name":"sat.solve","fields":{...}}]. *)
+      [{"domain":0,"seq":0,"phase":"eco/support","name":"sat.solve","fields":{...}}]. *)
 
   val parse_event : string -> event
   (** Inverse of {!of_event} (accepts any field order and extra
-      whitespace).  Raises [Failure] on malformed input. *)
+      whitespace; a missing "domain" parses as 0, for traces written
+      before events carried domains).  Raises [Failure] on malformed
+      input. *)
 end
 
 (** {2 Lifecycle and reporting} *)
 
 val reset : unit -> unit
-(** Zeroes all counters and timers, clears the ring and the sequence
-    number.  The sink stays installed. *)
+(** Zeroes all counters and timers, clears the ring and every domain's
+    sequence number.  The sink stays installed.  Assumes no other domain
+    is concurrently recording. *)
 
 val pp_summary : Format.formatter -> unit -> unit
 (** Human-readable report: the counter table followed by the phase-timer

@@ -352,6 +352,52 @@ let random_instances_solved =
         | Eco.Engine.Solved, Some true -> true
         | _ -> false))
 
+(* Regression: two patches carrying different costs for the same support
+   signal.  union_cost used to be last-writer-wins over the patch list; it
+   must be order-independent — netlist weight when given, min otherwise. *)
+let test_union_cost_conflicting_costs () =
+  let mk target support =
+    Eco.Patch.of_expr ~target ~support (Twolevel.Factor.Lit (0, true))
+  in
+  let p1 = mk "t1" [ ("a", 5); ("b", 2) ] in
+  let p2 = mk "t2" [ ("a", 3); ("c", 4) ] in
+  Alcotest.(check int) "min of carried costs wins" 9 (Eco.Engine.union_cost [ p1; p2 ]);
+  Alcotest.(check int) "order independent" (Eco.Engine.union_cost [ p1; p2 ])
+    (Eco.Engine.union_cost [ p2; p1 ]);
+  let w : Netlist.Weights.weights = Hashtbl.create 4 in
+  Hashtbl.replace w "a" 7;
+  Hashtbl.replace w "b" 2;
+  Hashtbl.replace w "c" 4;
+  Alcotest.(check int) "netlist weight overrides both carried costs" 13
+    (Eco.Engine.union_cost ~weights:w [ p1; p2 ]);
+  Alcotest.(check int) "weighted order independent"
+    (Eco.Engine.union_cost ~weights:w [ p1; p2 ])
+    (Eco.Engine.union_cost ~weights:w [ p2; p1 ])
+
+(* Regression: when cube enumeration aborts mid-target (budget, cube cap,
+   deadline) the partial solver effort must still reach the outcome and
+   the telemetry counters, and the engine must fall back to structural. *)
+let test_abort_keeps_solver_effort () =
+  let inst = tiny_instance () in
+  let before = Telemetry.snapshot () in
+  let o =
+    solve_with Eco.Engine.Min_assume
+      ~tweak:(fun c -> { c with Eco.Engine.max_cubes = 0 })
+      inst
+  in
+  check_solved_verified "aborted enumeration" o;
+  Alcotest.(check bool) "fell back to structural" true o.Eco.Engine.used_structural;
+  let delta = Telemetry.diff before (Telemetry.snapshot ()) in
+  let d name = try List.assoc name delta with Not_found -> 0 in
+  Alcotest.(check int) "one enumeration abort" 1 (d "patch_fun.aborts");
+  Alcotest.(check bool) "partial SAT calls recorded" true (d "patch_fun.sat_calls" > 0);
+  Alcotest.(check bool) "outcome charges the aborted calls" true
+    (o.Eco.Engine.sat_calls > 0);
+  Alcotest.(check int) "eco.sat_calls matches the outcome" o.Eco.Engine.sat_calls
+    (d "eco.sat_calls");
+  Alcotest.(check bool) "aborted cube note present" true
+    (List.mem_assoc "aborted_cubes_w" o.Eco.Engine.notes)
+
 let () =
   Alcotest.run "eco"
     [
@@ -366,6 +412,10 @@ let () =
           Alcotest.test_case "infeasible detected" `Quick test_infeasible_detected;
           Alcotest.test_case "verify rejects wrong patch" `Quick test_verify_rejects_wrong_patch;
           Alcotest.test_case "patched netlist structure" `Quick test_patched_netlist_structure;
+          Alcotest.test_case "union cost conflict resolution" `Quick
+            test_union_cost_conflicting_costs;
+          Alcotest.test_case "abort keeps solver effort" `Quick
+            test_abort_keeps_solver_effort;
         ] );
       ( "optimality",
         [

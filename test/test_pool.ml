@@ -1,0 +1,112 @@
+(* The worker pool: deterministic result ordering, per-job exception
+   isolation, the bounded queue, the sequential -j 1 path, and worker
+   telemetry domain ids. *)
+
+let test_map_ordering () =
+  let xs = List.init 100 Fun.id in
+  let rs = Pool.map ~jobs:4 (fun i -> i * i) xs in
+  Alcotest.(check int) "one result per job" 100 (List.length rs);
+  List.iteri
+    (fun i r ->
+      match r with
+      | Ok v -> Alcotest.(check int) "in input order" (i * i) v
+      | Error _ -> Alcotest.fail "unexpected error")
+    rs
+
+let test_map_ordering_uneven_work () =
+  (* Early jobs are the slow ones, so completion order inverts submission
+     order — results must still come back by job index. *)
+  let xs = List.init 16 Fun.id in
+  let rs =
+    Pool.map ~jobs:4
+      (fun i ->
+        if i < 4 then Unix.sleepf 0.02;
+        i)
+      xs
+  in
+  List.iteri
+    (fun i r -> Alcotest.(check (result int reject)) "index order" (Ok i) r)
+    rs
+
+exception Boom of int
+
+let test_exception_isolation () =
+  let xs = List.init 20 Fun.id in
+  let rs = Pool.map ~jobs:4 (fun i -> if i mod 3 = 0 then raise (Boom i) else i) xs in
+  List.iteri
+    (fun i r ->
+      match r with
+      | Ok v ->
+        Alcotest.(check bool) "survivor not a multiple of 3" false (i mod 3 = 0);
+        Alcotest.(check int) "survivor value" i v
+      | Error (Boom j) ->
+        Alcotest.(check bool) "crasher is a multiple of 3" true (i mod 3 = 0);
+        Alcotest.(check int) "exception carries its job" i j
+      | Error e -> Alcotest.fail (Printexc.to_string e))
+    rs
+
+let test_sequential_path () =
+  (* jobs <= 1 must not spawn a domain: the jobs observe the caller's
+     telemetry domain id. *)
+  let here = Telemetry.domain_id () in
+  let rs = Pool.map ~jobs:1 (fun _ -> Telemetry.domain_id ()) [ (); (); () ] in
+  List.iter
+    (function
+      | Ok id -> Alcotest.(check int) "ran on the calling domain" here id
+      | Error e -> Alcotest.fail (Printexc.to_string e))
+    rs
+
+let test_worker_domain_ids () =
+  let rs = Pool.map ~jobs:3 (fun _ -> Telemetry.domain_id ()) (List.init 12 Fun.id) in
+  List.iter
+    (function
+      | Ok id -> Alcotest.(check bool) "worker id in 1..jobs" true (id >= 1 && id <= 3)
+      | Error e -> Alcotest.fail (Printexc.to_string e))
+    rs
+
+let test_bounded_queue_submit_wait () =
+  (* Many more jobs than queue slots: submit must block-and-drain rather
+     than overflow, and wait must observe every job. *)
+  let p = Pool.create ~queue_capacity:2 3 in
+  Alcotest.(check int) "pool size" 3 (Pool.size p);
+  let total = Atomic.make 0 in
+  for i = 1 to 200 do
+    Pool.submit p (fun () -> ignore (Atomic.fetch_and_add total i))
+  done;
+  Pool.wait p;
+  Alcotest.(check int) "all jobs ran" (200 * 201 / 2) (Atomic.get total);
+  Pool.shutdown p;
+  Alcotest.check_raises "submit after shutdown"
+    (Invalid_argument "Pool.submit: pool is shut down") (fun () ->
+      Pool.submit p (fun () -> ()))
+
+let test_shutdown_idempotent () =
+  let p = Pool.create 2 in
+  Pool.submit p (fun () -> ());
+  Pool.shutdown p;
+  Pool.shutdown p
+
+let test_empty_and_singleton () =
+  Alcotest.(check int) "empty input" 0 (List.length (Pool.map ~jobs:4 Fun.id []));
+  match Pool.map ~jobs:4 (fun x -> x + 1) [ 41 ] with
+  | [ Ok 42 ] -> ()
+  | _ -> Alcotest.fail "singleton"
+
+let () =
+  Alcotest.run "pool"
+    [
+      ( "map",
+        [
+          Alcotest.test_case "result ordering" `Quick test_map_ordering;
+          Alcotest.test_case "ordering under uneven work" `Quick test_map_ordering_uneven_work;
+          Alcotest.test_case "exception isolation" `Quick test_exception_isolation;
+          Alcotest.test_case "jobs=1 stays in-domain" `Quick test_sequential_path;
+          Alcotest.test_case "worker domain ids" `Quick test_worker_domain_ids;
+          Alcotest.test_case "empty and singleton" `Quick test_empty_and_singleton;
+        ] );
+      ( "queue",
+        [
+          Alcotest.test_case "bounded queue, submit/wait" `Quick test_bounded_queue_submit_wait;
+          Alcotest.test_case "shutdown idempotent" `Quick test_shutdown_idempotent;
+        ] );
+    ]

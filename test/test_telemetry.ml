@@ -169,6 +169,177 @@ let test_engine_determinism () =
         (List.mem_assoc "eco.runs" d1))
     [ ("unit1", Eco.Engine.Min_assume); ("unit2", Eco.Engine.Baseline) ]
 
+(* Parallel determinism: N domains hammering the shared facilities must
+   leave totals identical to the same work done sequentially, a non-corrupt
+   ring, and valid JSONL out of the sink. *)
+
+let hammer_counters spin =
+  let c = Telemetry.Counter.make "test.par.handle" in
+  for i = 1 to spin do
+    Telemetry.Counter.incr c;
+    Telemetry.Counter.add c 2;
+    Telemetry.bump "test.par.byname" i
+  done
+
+let test_parallel_counter_totals () =
+  let spin = 1000 and domains = 4 in
+  let expected_handle = domains * spin * 3 in
+  let expected_byname = domains * (spin * (spin + 1) / 2) in
+  let seq_before = Telemetry.snapshot () in
+  List.iter (fun _ -> hammer_counters spin) (List.init domains Fun.id);
+  let seq_delta = Telemetry.diff seq_before (Telemetry.snapshot ()) in
+  let par_before = Telemetry.snapshot () in
+  let rs = Pool.map ~jobs:domains (fun _ -> hammer_counters spin) (List.init domains Fun.id) in
+  List.iter (function Ok () -> () | Error e -> Alcotest.fail (Printexc.to_string e)) rs;
+  let par_delta = Telemetry.diff par_before (Telemetry.snapshot ()) in
+  Alcotest.(check (list (pair string int)))
+    "parallel totals equal sequential totals" seq_delta par_delta;
+  Alcotest.(check int) "handle total" expected_handle
+    (List.assoc "test.par.handle" par_delta);
+  Alcotest.(check int) "by-name total" expected_byname
+    (List.assoc "test.par.byname" par_delta)
+
+let test_local_snapshot_isolation () =
+  (* Each job adds a distinct amount; its local diff must see exactly its
+     own contribution even with three other domains adding concurrently. *)
+  let rs =
+    Pool.map ~jobs:4
+      (fun k ->
+        let before = Telemetry.local_snapshot () in
+        for _ = 1 to 50 do
+          Telemetry.bump "test.par.local" k
+        done;
+        (k, Telemetry.diff before (Telemetry.local_snapshot ())))
+      [ 1; 3; 5; 7 ]
+  in
+  List.iter
+    (function
+      | Ok (k, delta) ->
+        Alcotest.(check int)
+          (Printf.sprintf "job %d sees only its own adds" k)
+          (50 * k)
+          (List.assoc "test.par.local" delta)
+      | Error e -> Alcotest.fail (Printexc.to_string e))
+    rs
+
+let test_parallel_phases () =
+  let before_calls path =
+    match List.find_opt (fun s -> s.Telemetry.path = path) (Telemetry.phases ()) with
+    | Some s -> s.Telemetry.calls
+    | None -> 0
+  in
+  let outer0 = before_calls "par_outer" and inner0 = before_calls "par_outer/par_inner" in
+  let rs =
+    Pool.map ~jobs:4
+      (fun _ ->
+        for _ = 1 to 25 do
+          Telemetry.with_phase "par_outer" (fun () ->
+              Telemetry.with_phase "par_inner" (fun () -> ()))
+        done;
+        (* The phase stack is domain-local: it must unwind cleanly here. *)
+        Telemetry.current_phase ())
+      (List.init 4 Fun.id)
+  in
+  List.iter
+    (function
+      | Ok phase -> Alcotest.(check string) "worker stack unwound" "" phase
+      | Error e -> Alcotest.fail (Printexc.to_string e))
+    rs;
+  Alcotest.(check int) "outer calls merged across domains" (outer0 + 100)
+    (before_calls "par_outer");
+  Alcotest.(check int) "inner calls merged across domains" (inner0 + 100)
+    (before_calls "par_outer/par_inner")
+
+let test_parallel_events_ring_and_sink () =
+  Telemetry.set_ring_capacity 1024;
+  let sunk = ref [] in
+  Telemetry.set_sink (fun line -> sunk := line :: !sunk);
+  let domains = 4 and per_domain = 50 in
+  (* Barrier: make every worker pick up exactly one job, so the events
+     genuinely come from [domains] distinct domains. *)
+  let started = Atomic.make 0 in
+  let rs =
+    Pool.map ~jobs:domains
+      (fun _ ->
+        Atomic.incr started;
+        while Atomic.get started < domains do
+          Domain.cpu_relax ()
+        done;
+        let d = Telemetry.domain_id () in
+        for i = 0 to per_domain - 1 do
+          Telemetry.event "test.par.event"
+            ~fields:[ ("d", v_int d); ("i", v_int i) ]
+        done)
+      (List.init domains Fun.id)
+  in
+  Telemetry.close_sink ();
+  List.iter (function Ok () -> () | Error e -> Alcotest.fail (Printexc.to_string e)) rs;
+  let ours =
+    List.filter
+      (fun (e : Telemetry.event) -> e.Telemetry.name = "test.par.event")
+      (Telemetry.events ())
+  in
+  Alcotest.(check int) "ring kept every event" (domains * per_domain) (List.length ours);
+  (* Per-domain seqs are strictly increasing and the i field follows the
+     emission order within its domain. *)
+  let by_domain = Hashtbl.create 8 in
+  List.iter
+    (fun (e : Telemetry.event) ->
+      let d = e.Telemetry.domain in
+      let prev = try Hashtbl.find by_domain d with Not_found -> [] in
+      Hashtbl.replace by_domain d (e :: prev))
+    ours;
+  Alcotest.(check int) "events from every worker" domains (Hashtbl.length by_domain);
+  Hashtbl.iter
+    (fun d es ->
+      let es = List.rev es in
+      Alcotest.(check int) (Printf.sprintf "domain %d event count" d) per_domain
+        (List.length es);
+      ignore
+        (List.fold_left
+           (fun last (e : Telemetry.event) ->
+             Alcotest.(check bool) "seq strictly increasing per domain" true
+               (e.Telemetry.seq > last);
+             e.Telemetry.seq)
+           (-1) es);
+      List.iteri
+        (fun i (e : Telemetry.event) ->
+          match List.assoc "i" e.Telemetry.fields with
+          | Telemetry.Value.Int j -> Alcotest.(check int) "in-domain order kept" i j
+          | _ -> Alcotest.fail "missing i field")
+        es)
+    by_domain;
+  (* Every sunk line is valid JSONL and parses back to an event. *)
+  let lines =
+    List.filter
+      (fun l ->
+        let e = Telemetry.Json.parse_event l in
+        e.Telemetry.name = "test.par.event")
+      !sunk
+  in
+  Alcotest.(check int) "sink got every event, all parseable" (domains * per_domain)
+    (List.length lines);
+  Telemetry.set_ring_capacity 4096
+
+let test_parallel_engine_counters () =
+  (* The acceptance-criterion shape on a small scale: solving a batch of
+     units on 4 domains leaves exactly the counter totals of the
+     sequential solve of the same units. *)
+  let units = [ "unit1"; "unit2"; "unit3" ] in
+  let solve u =
+    let config = Eco.Engine.config_of_method Eco.Engine.Min_assume in
+    ignore (Eco.Engine.solve ~config (Gen.Suite.instantiate (Gen.Suite.find u)))
+  in
+  let before = Telemetry.snapshot () in
+  List.iter solve units;
+  let seq_delta = Telemetry.diff before (Telemetry.snapshot ()) in
+  let before = Telemetry.snapshot () in
+  let rs = Pool.map ~jobs:4 solve units in
+  List.iter (function Ok () -> () | Error e -> Alcotest.fail (Printexc.to_string e)) rs;
+  let par_delta = Telemetry.diff before (Telemetry.snapshot ()) in
+  Alcotest.(check (list (pair string int)))
+    "parallel solve totals equal sequential" seq_delta par_delta
+
 let test_solver_stats_accessors () =
   let s = Sat.Solver.create () in
   let n = 8 in
@@ -207,5 +378,17 @@ let () =
         [
           Alcotest.test_case "engine counters repeat exactly" `Quick test_engine_determinism;
           Alcotest.test_case "solver stats accessors" `Quick test_solver_stats_accessors;
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "counter totals match sequential" `Quick
+            test_parallel_counter_totals;
+          Alcotest.test_case "local snapshot isolation" `Quick
+            test_local_snapshot_isolation;
+          Alcotest.test_case "phase merge across domains" `Quick test_parallel_phases;
+          Alcotest.test_case "event ring and sink under domains" `Quick
+            test_parallel_events_ring_and_sink;
+          Alcotest.test_case "engine solve totals match sequential" `Quick
+            test_parallel_engine_counters;
         ] );
     ]
