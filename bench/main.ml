@@ -17,6 +17,10 @@
                    cost/gates/status columns and counter totals are
                    identical to -j 1 — only wall-clock changes)
    --no-verify     skip the verification ladder (for quick smoke runs)
+   --certify       independently certify every final SAT/UNSAT verdict
+                   (models re-evaluated, UNSAT proofs replayed); prints a
+                   certification summary and exits non-zero if any check
+                   fails
    --json FILE     write the Table 1 telemetry JSON here
                    (default BENCH_table1.json) *)
 
@@ -38,6 +42,7 @@ let () =
   let args = List.tl (Array.to_list Sys.argv) in
   if List.mem "--no-simplify" args then Sat.Simplify.enabled := false;
   let verify = not (List.mem "--no-verify" args) in
+  let certify = List.mem "--certify" args in
   (* Consume "-j N" / "--json FILE" pairs (and "-jN"), leaving the
      experiment name. *)
   let jobs = ref 1 in
@@ -53,13 +58,23 @@ let () =
       match int_of_string_opt (String.sub a 2 (String.length a - 2)) with
       | Some n when n >= 1 -> jobs := n; strip rest
       | _ -> Printf.eprintf "bad option %S\n" a; exit 2)
-    | ("--no-simplify" | "--no-verify") :: rest -> strip rest
+    | ("--no-simplify" | "--no-verify" | "--certify") :: rest -> strip rest
     | a :: rest -> a :: strip rest
   in
   let what = match strip args with [] -> "all" | w :: _ -> w in
   let jobs = !jobs in
   let json = !json in
-  let table1 units = ignore (Table1.run ~units ~json ~jobs ~verify ()) in
+  let table1 units =
+    ignore (Table1.run ~units ~json ~jobs ~verify ~certify ());
+    if certify then begin
+      let snap = Telemetry.snapshot () in
+      let get n = match List.assoc_opt n snap with Some v -> v | None -> 0 in
+      Printf.printf "certification: %d checks (%d proof steps, %d rup), %d failed\n"
+        (get "cert.checked") (get "cert.proof_steps") (get "cert.rup_fallbacks")
+        (get "cert.failed");
+      if get "cert.failed" > 0 then exit 1
+    end
+  in
   match what with
   | "table1" -> table1 Gen.Suite.all
   | "table1-fast" -> table1 fast_units

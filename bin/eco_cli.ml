@@ -64,8 +64,11 @@ let solve_cmd =
   let no_simplify =
     Arg.(value & flag & info [ "no-simplify" ] ~doc:"Disable SatELite-style CNF preprocessing (subsumption, self-subsuming resolution, bounded variable elimination, failed-literal probing) in every SAT call; reproduces the pre-simplification solver behaviour and counters.")
   in
+  let certify =
+    Arg.(value & flag & info [ "certify" ] ~doc:"Independently certify every final SAT/UNSAT verdict: models are evaluated against the original clause sets and UNSAT answers re-derived with their resolution proofs replayed by a standalone checker.  Exits non-zero if any check fails.")
+  in
   let run impl_file spec_file targets unit_name weights method_ structural out budget stats trace
-      no_simplify =
+      no_simplify certify =
     try
       if no_simplify then Sat.Simplify.enabled := false;
       let instance =
@@ -80,7 +83,7 @@ let solve_cmd =
         | _ -> failwith "pass either --unit or both --impl and --spec"
       in
       let config = Eco.Engine.config_of_method method_ in
-      let config = { config with Eco.Engine.force_structural = structural } in
+      let config = { config with Eco.Engine.force_structural = structural; certify } in
       let config =
         if budget > 0 then
           { config with Eco.Engine.sat_budget = budget; feasibility_budget = budget }
@@ -104,14 +107,29 @@ let solve_cmd =
         Telemetry.close_sink ()
       end;
       if stats then Format.printf "%a@." Telemetry.pp_summary ();
-      match outcome.Eco.Engine.status with Eco.Engine.Solved -> Ok () | _ -> Error (`Msg "no patch")
+      let cert_failed =
+        if certify then begin
+          let snap = Telemetry.snapshot () in
+          let get n = match List.assoc_opt n snap with Some v -> v | None -> 0 in
+          Format.printf "certification: %d checks (%d proof steps, %d rup), %d failed@."
+            (get "cert.checked") (get "cert.proof_steps") (get "cert.rup_fallbacks")
+            (get "cert.failed");
+          get "cert.failed"
+        end
+        else 0
+      in
+      if cert_failed > 0 then Error (`Msg (Printf.sprintf "%d certification check(s) failed" cert_failed))
+      else
+        match outcome.Eco.Engine.status with
+        | Eco.Engine.Solved -> Ok ()
+        | _ -> Error (`Msg "no patch")
     with Failure msg | Sys_error msg -> Error (`Msg msg)
   in
   let term =
     Term.(
       term_result
         (const run $ impl_file $ spec_file $ targets $ unit_name $ weights $ method_ $ structural
-       $ out $ budget $ stats $ trace $ no_simplify))
+       $ out $ budget $ stats $ trace $ no_simplify $ certify))
   in
   Cmd.v (Cmd.info "solve" ~doc:"Compute ECO patch functions for the given targets.") term
 
@@ -159,7 +177,10 @@ let batch_cmd =
   let stats =
     Arg.(value & flag & info [ "stats" ] ~doc:"Print merged telemetry (counter totals and per-domain-merged phase timers) after the batch.")
   in
-  let run units jobs method_ no_verify no_simplify stats =
+  let certify =
+    Arg.(value & flag & info [ "certify" ] ~doc:"Independently certify every final SAT/UNSAT verdict of every unit; the batch fails if any check fails.")
+  in
+  let run units jobs method_ no_verify no_simplify stats certify =
     try
       if no_simplify then Sat.Simplify.enabled := false;
       if jobs < 1 then failwith "-j expects a positive worker count";
@@ -176,6 +197,7 @@ let batch_cmd =
       in
       let config_for (spec : Gen.Suite.unit_spec) =
         let c = Eco.Engine.config_of_method method_ in
+        let c = { c with Eco.Engine.certify } in
         let c = if no_verify then { c with Eco.Engine.verify = false } else c in
         if spec.Gen.Suite.structural then
           { c with Eco.Engine.force_structural = true; use_qbf = false; verify_budget = 10_000 }
@@ -201,6 +223,9 @@ let batch_cmd =
                 incr failures;
                 "failed"
             in
+            (* A solved unit whose patched netlist failed verification is a
+               failure, not a quiet "NO" in the table. *)
+            if o.Eco.Engine.verified = Some false then incr failures;
             Format.printf "%-8s %-12s %7d %7d %8.2f %s@." spec.Gen.Suite.u_name status
               o.Eco.Engine.cost o.Eco.Engine.gates o.Eco.Engine.time
               (match o.Eco.Engine.verified with
@@ -215,13 +240,26 @@ let batch_cmd =
               ("failed: " ^ Printexc.to_string e) "-" "-" "-" "-")
         specs outcomes;
       if stats then Format.printf "%a@." Telemetry.pp_summary ();
-      if !failures = 0 then Ok ()
+      let cert_failed =
+        if certify then begin
+          let snap = Telemetry.snapshot () in
+          let get n = match List.assoc_opt n snap with Some v -> v | None -> 0 in
+          Format.printf "certification: %d checks (%d proof steps, %d rup), %d failed@."
+            (get "cert.checked") (get "cert.proof_steps") (get "cert.rup_fallbacks")
+            (get "cert.failed");
+          get "cert.failed"
+        end
+        else 0
+      in
+      if !failures = 0 && cert_failed = 0 then Ok ()
+      else if cert_failed > 0 then
+        Error (`Msg (Printf.sprintf "%d certification check(s) failed" cert_failed))
       else Error (`Msg (Printf.sprintf "%d unit(s) failed" !failures))
     with Failure msg | Sys_error msg -> Error (`Msg msg)
   in
   Cmd.v
     (Cmd.info "batch" ~doc:"Solve a list of benchmark units, optionally in parallel over worker domains.")
-    Term.(term_result (const run $ units $ jobs $ method_ $ no_verify $ no_simplify $ stats))
+    Term.(term_result (const run $ units $ jobs $ method_ $ no_verify $ no_simplify $ stats $ certify))
 
 let suite_cmd =
   let run () =

@@ -1,5 +1,7 @@
 type verdict = Equivalent | Counterexample of bool array | Undecided
 
+type certification = Cert.verdict = Certified | Check_failed of string
+
 let tc_checks = Telemetry.Counter.make "cec.checks"
 let tc_equivalent = Telemetry.Counter.make "cec.equivalent"
 let tc_cex = Telemetry.Counter.make "cec.counterexamples"
@@ -30,14 +32,32 @@ let build_miter a b =
   ignore (Aig.add_output m miter);
   (m, miter)
 
-let check_lit ?(budget = 0) m l =
+(* Independent single-pattern replay: evaluate [l] on the AIG itself under
+   the counterexample assignment.  This closes the loop around the CNF
+   encoding — a Tseitin bug cannot produce a "certified" counterexample
+   that the circuit does not actually exhibit. *)
+let cex_fires m l cex =
+  let words = Array.map (fun b -> if b then -1L else 0L) cex in
+  let values = Aig.simulate m words in
+  Int64.logand (Aig.lit_value values l) 1L <> 0L
+
+let replay_counterexample = cex_fires
+
+(* Conflict budget for the certifying re-derivation: proof-mode solving is
+   slower (no clause minimization, no preprocessing), so a bounded primary
+   search gets a proportionally larger bound rather than a spurious
+   Check_failed. *)
+let recert_budget budget = if budget > 0 then 10 * budget else 0
+
+let check_lit_cert ~certify ~budget m l =
   Telemetry.with_phase "cec" @@ fun () ->
-  count_verdict
-  @@
-  if l = Aig.false_ then Equivalent
+  if l = Aig.false_ then
+    (* Structurally constant-false: nothing was solved, nothing to check. *)
+    (count_verdict Equivalent, if certify then Some (Cert.record "cec.const" Certified) else None)
   else begin
     let solver = Sat.Solver.create () in
     let simp = Sat.Simplify.create solver in
+    let log = if certify then Some (Cert.attach simp) else None in
     if budget > 0 then Sat.Solver.set_budget solver budget;
     let env = Aig.Cnf.create ~simp m solver in
     let sl = Aig.Cnf.lit env l in
@@ -50,8 +70,16 @@ let check_lit ?(budget = 0) m l =
         | None -> ())
       (Aig.inputs m);
     match Sat.Simplify.solve simp with
-    | Sat.Solver.Unsat -> Equivalent
-    | Sat.Solver.Unknown -> Undecided
+    | Sat.Solver.Unsat ->
+      let cert =
+        Option.map
+          (fun log ->
+            Cert.record "cec.unsat"
+              (Cert.certify_unsat ~budget:(recert_budget budget) log ~assumptions:[]))
+          log
+      in
+      (count_verdict Equivalent, cert)
+    | Sat.Solver.Unknown -> (count_verdict Undecided, None)
     | Sat.Solver.Sat ->
       let cex =
         Array.map
@@ -61,8 +89,23 @@ let check_lit ?(budget = 0) m l =
             | None -> false (* input outside the encoded cone: don't care *))
           (Aig.inputs m)
       in
-      Counterexample cex
+      let cert =
+        Option.map
+          (fun log ->
+            Cert.record "cec.sat"
+              (match Cert.certify_sat log ~value:(Sat.Simplify.value simp) with
+              | Check_failed _ as f -> f
+              | Certified ->
+                if cex_fires m l cex then Certified
+                else Check_failed "counterexample does not fire on the AIG"))
+          log
+      in
+      (count_verdict (Counterexample cex), cert)
   end
+
+let check_lit ?(budget = 0) m l = fst (check_lit_cert ~certify:false ~budget m l)
+
+let check_lit_certified ?(budget = 0) m l = check_lit_cert ~certify:true ~budget m l
 
 let random_words rand n = Array.init n (fun _ -> Random.State.int64 rand Int64.max_int)
 
@@ -93,12 +136,26 @@ let find_sim_cex ?(sim_rounds = 32) ~seed m miter =
 let find_counterexample_by_simulation ?(rounds = 32) ?(seed = 0x5eed) m lit =
   find_sim_cex ~sim_rounds:rounds ~seed m lit
 
-let check ?(budget = 0) ?(sim_rounds = 32) ?(seed = 0x5eed) a b =
+let check_cert ~certify ~budget ~sim_rounds ~seed a b =
   let m, miter = build_miter a b in
   match find_sim_cex ~sim_rounds ~seed m miter with
   | Some cex ->
     Telemetry.Counter.incr tc_sim_cex;
     Telemetry.Counter.incr tc_checks;
     Telemetry.Counter.incr tc_cex;
-    Counterexample cex
-  | None -> check_lit ~budget m miter
+    let cert =
+      if certify then
+        Some
+          (Cert.record "cec.sim_cex"
+             (if cex_fires m miter cex then Certified
+              else Check_failed "simulation counterexample does not fire on the miter"))
+      else None
+    in
+    (Counterexample cex, cert)
+  | None -> check_lit_cert ~certify ~budget m miter
+
+let check ?(budget = 0) ?(sim_rounds = 32) ?(seed = 0x5eed) a b =
+  fst (check_cert ~certify:false ~budget ~sim_rounds ~seed a b)
+
+let check_certified ?(budget = 0) ?(sim_rounds = 32) ?(seed = 0x5eed) a b =
+  check_cert ~certify:true ~budget ~sim_rounds ~seed a b

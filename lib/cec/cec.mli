@@ -7,14 +7,35 @@ type verdict =
   | Counterexample of bool array  (** input assignment distinguishing them *)
   | Undecided  (** conflict budget exhausted *)
 
+type certification = Cert.verdict = Certified | Check_failed of string
+(** Result of independently validating a verdict (see {!Cert}). *)
+
 val check : ?budget:int -> ?sim_rounds:int -> ?seed:int -> Aig.t -> Aig.t -> verdict
 (** [check a b] compares two AIGs output-by-output.  They must have the
     same number of inputs and outputs. *)
+
+val check_certified :
+  ?budget:int -> ?sim_rounds:int -> ?seed:int -> Aig.t -> Aig.t -> verdict * certification option
+(** Like {!check}, but every decisive verdict comes with an independent
+    certification: [Equivalent] is re-derived as an UNSAT miter and its
+    resolution proof replayed against the original clause set;
+    [Counterexample] models are evaluated against the original clauses
+    {e and} replayed on the AIG itself.  [Undecided] carries [None].  The
+    primary search is unchanged — certification only reads a clause-log
+    tap and runs afterwards. *)
 
 val check_lit : ?budget:int -> Aig.t -> Aig.lit -> verdict
 (** Satisfiability of one literal: [Equivalent] means constant-false (no
     satisfying input), [Counterexample] gives an input assignment making it
     true. *)
+
+val check_lit_certified : ?budget:int -> Aig.t -> Aig.lit -> verdict * certification option
+(** {!check_lit} with certification, as in {!check_certified}. *)
+
+val replay_counterexample : Aig.t -> Aig.lit -> bool array -> bool
+(** [replay_counterexample m l cex] evaluates [l] on the AIG under the
+    input assignment [cex] — the independent single-pattern check used to
+    certify counterexamples. *)
 
 val find_counterexample_by_simulation :
   ?rounds:int -> ?seed:int -> Aig.t -> Aig.lit -> bool array option

@@ -1,0 +1,60 @@
+(** Independent certification of final solver verdicts.
+
+    The solver stack answers "this clause set is satisfiable (here is a
+    model)" or "unsatisfiable (trust me / here is a core)".  This layer
+    validates those answers against the {e original} clause set of the
+    session, recorded by a tap on the {!Sat.Simplify} front end before
+    any preprocessing:
+
+    - a SAT verdict is certified by evaluating the model (as extended
+      over eliminated variables by the simplifier's extension stack) on
+      every recorded clause;
+    - an UNSAT verdict — with or without an assumption core — is
+      certified by re-deriving it in a fresh proof-logging solver over
+      the recorded clauses plus the core literals as unit clauses, then
+      replaying the resulting resolution proof with the standalone
+      {!Checker} (whose leaves are checked for membership in the
+      recorded set, so the proof provably refutes {e this} problem).
+
+    Trust boundary: only the clause log, {!Checker}, and model
+    evaluation are trusted; both the original and the re-deriving solver
+    are not.  Every certification attempt bumps the [cert.checked]
+    telemetry counter; failures bump [cert.failed] and emit a
+    ["cert.failed"] trace event, and replay effort accumulates in
+    [cert.proof_steps] / [cert.rup_fallbacks]. *)
+
+module Checker = Checker
+
+type verdict = Certified | Check_failed of string
+
+type log
+(** The recorded original clause set of one solver session. *)
+
+val create_log : unit -> log
+
+val attach : Sat.Simplify.t -> log
+(** Creates a log and installs it as the simplifier's clause tap: every
+    clause subsequently added through the simplifier is recorded.  Call
+    before the first clause is added. *)
+
+val record_clause : log -> Sat.Lit.t array -> unit
+(** Manual recording for clauses that bypass a simplifier. *)
+
+val n_clauses : log -> int
+
+val certify_sat : log -> value:(Sat.Lit.t -> bool) -> verdict
+(** Certifies a SAT verdict: [value] (typically {!Sat.Simplify.value} on
+    the session's simplifier, which replays the model-extension stack)
+    must satisfy every recorded clause. *)
+
+val certify_unsat : ?budget:int -> log -> assumptions:Sat.Lit.t list -> verdict
+(** Certifies an UNSAT verdict: the recorded clauses together with the
+    assumption literals (the claimed core; [[]] for an unconditional
+    UNSAT) are re-derived as unsatisfiable and the proof is replayed.
+    [?budget] bounds the re-derivation's conflicts (0, the default, is
+    unlimited); exhausting it yields [Check_failed]. *)
+
+val record : string -> verdict -> verdict
+(** [record site v] books [v] into the cert telemetry counters (and, on
+    failure, a trace event naming [site]) and returns it.  Every
+    user-facing certification site funnels through this. *)

@@ -1,0 +1,36 @@
+(** Standalone verdict validation: the trusted half of the certification
+    layer.  No code is shared with {!Sat.Solver}'s propagation or conflict
+    analysis — models are checked by direct clause evaluation and
+    resolution proofs by independent step-by-step replay. *)
+
+type verdict = Valid | Invalid of string
+
+type stats = {
+  nodes : int;  (** proof nodes visited *)
+  steps : int;  (** resolution steps replayed *)
+  rup_fallbacks : int;  (** nodes salvaged by reverse unit propagation *)
+}
+
+val check_model : value:(Sat.Lit.t -> bool) -> Sat.Lit.t array list -> verdict
+(** [check_model ~value clauses] confirms that the valuation satisfies at
+    least one literal of every clause. *)
+
+val check_proof :
+  ?rup_fallback:bool -> leaf_ok:(Sat.Lit.t array -> bool) -> Sat.Proof.t -> verdict * stats
+(** Validates the derivation of the empty clause: every leaf on record
+    must pass [leaf_ok] (membership in the problem's clause set), every
+    derived node must replay as a chain of well-formed resolutions from
+    validated nodes (strict pivot discipline: the pivot occurs in exactly
+    one phase in each operand, positively in one and negatively in the
+    other), and the proof's empty-clause root must be validated with an
+    empty literal set.  A derived node whose chain fails to replay — for
+    example because an antecedent's own derivation was rejected — is
+    retried as a RUP check against the clauses validated so far unless
+    [?rup_fallback] is [false] (default [true]; tests use [false] to pin
+    down replay behaviour).  Nodes that fail validation only matter if
+    the empty-clause root depends on them. *)
+
+val rup_entailed : max_var:int -> Sat.Lit.t array list -> Sat.Lit.t array -> bool
+(** [rup_entailed ~max_var clauses lits]: asserting the negation of every
+    literal of [lits] and unit-propagating over [clauses] conflicts — the
+    reverse-unit-propagation entailment test, exposed for tests. *)

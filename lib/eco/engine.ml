@@ -10,6 +10,7 @@ type config = {
   use_qbf : bool;
   verify : bool;
   verify_budget : int;
+  certify : bool; (* independently certify final SAT/UNSAT verdicts *)
   max_cubes : int;
   sat_prune_deadline : float; (* seconds per target for the exact search *)
   sweep_patches : bool; (* SAT-sweep structural patch circuits *)
@@ -27,6 +28,7 @@ let config_of_method m =
     use_qbf = (m = Exact);
     verify = true;
     verify_budget = 40_000;
+    certify = false;
     max_cubes = 50_000;
     sat_prune_deadline = 15.0;
     sweep_patches = true;
@@ -105,7 +107,14 @@ let check_feasibility config (miter : Miter.t) notes =
   end
   else begin
     let quantified = Miter.quantify_all miter in
-    match Cec.check_lit ~budget:config.feasibility_budget miter.Miter.mgr quantified with
+    let verdict =
+      (* The QBF branch above has no certification path (no clause-level
+         proof object); the CEC branch certifies when asked. *)
+      if config.certify then
+        fst (Cec.check_lit_certified ~budget:config.feasibility_budget miter.Miter.mgr quantified)
+      else Cec.check_lit ~budget:config.feasibility_budget miter.Miter.mgr quantified
+    in
+    match verdict with
     | Cec.Equivalent -> Feasible None
     | Cec.Counterexample _ -> Not_feasible
     | Cec.Undecided -> Feasibility_unknown
@@ -121,7 +130,7 @@ let sat_pipeline config (miter : Miter.t) notes sat_calls patches =
   List.iter
     (fun (name, _) ->
       let m_i = Miter.quantify_others miter ~keep:name in
-      let tc = Two_copy.build miter ~m_i ~target:name in
+      let tc = Two_copy.build ~certify:config.certify miter ~m_i ~target:name in
       let budget = config.sat_budget in
       let selection =
         (* The two-copy solver calls are charged whether or not the search
@@ -163,7 +172,7 @@ let sat_pipeline config (miter : Miter.t) notes sat_calls patches =
         let pf =
           match
             Telemetry.with_phase "patch_fun" @@ fun () ->
-            Patch_fun.compute ~budget ~max_cubes:config.max_cubes
+            Patch_fun.compute ~budget ~certify:config.certify ~max_cubes:config.max_cubes
               ~deadline:config.patch_deadline miter ~m_i ~target:name
               ~chosen:sel.Support.indices
           with
@@ -299,11 +308,20 @@ let solve ?(config = default_config) inst =
     let miter_says () =
       match miter with
       | Some (m : Miter.t) when m.Miter.patched <> [] -> (
-        match Cec.check_lit ~budget:config.verify_budget m.Miter.mgr m.Miter.miter_lit with
+        let v =
+          if config.certify then
+            fst (Cec.check_lit_certified ~budget:config.verify_budget m.Miter.mgr m.Miter.miter_lit)
+          else Cec.check_lit ~budget:config.verify_budget m.Miter.mgr m.Miter.miter_lit
+        in
+        match v with
         | Cec.Equivalent -> Some true
         | Cec.Counterexample _ -> Some false
         | Cec.Undecided -> None)
       | _ -> None
+    in
+    let verify_check patches =
+      if config.certify then fst (Verify.check_certified ~budget:config.verify_budget inst patches)
+      else Verify.check ~budget:config.verify_budget inst patches
     in
     let verified =
       Telemetry.with_phase "verify" @@ fun () ->
@@ -314,13 +332,13 @@ let solve ?(config = default_config) inst =
           (* The window outputs are rectified; confirm the whole netlist
              (covers outputs outside the window) with the remaining
              budget. *)
-          match Verify.check ~budget:config.verify_budget inst patches with
+          match verify_check patches with
           | Cec.Equivalent -> Some true
           | Cec.Counterexample _ -> Some false
           | Cec.Undecided -> Some true)
         | Some false -> Some false
         | None -> (
-          match Verify.check ~budget:config.verify_budget inst patches with
+          match verify_check patches with
           | Cec.Equivalent -> Some true
           | Cec.Counterexample _ -> Some false
           | Cec.Undecided -> None))

@@ -23,6 +23,14 @@ type config = {
   verify_budget : int;
       (** conflicts for each step of the verification ladder (simulation,
           shared-structure miter check, netlist CEC) *)
+  certify : bool;
+      (** independently certify every final SAT/UNSAT verdict of the run
+          (feasibility, support cores, prime cubes, verification) against
+          the original clause sets via {!Cert}; outcomes land in the
+          [cert.*] telemetry counters.  The searches themselves are
+          unchanged — certification only taps clause logs and replays
+          proofs afterwards.  The 2QBF feasibility path produces no
+          clause-level proof object and stays uncertified. *)
   max_cubes : int;
   sat_prune_deadline : float;
       (** wall-clock seconds per target before the exact search yields to

@@ -13,8 +13,8 @@ let tc_aborts = Telemetry.Counter.make "patch_fun.aborts"
 let tc_cubes = Telemetry.Counter.make "patch_fun.cubes"
 let tc_sat_calls = Telemetry.Counter.make "patch_fun.sat_calls"
 
-let compute ?(budget = 0) ?(max_cubes = 50_000) ?(deadline = 0.0) (miter : Miter.t) ~m_i ~target
-    ~chosen =
+let compute ?(budget = 0) ?(certify = false) ?(max_cubes = 50_000) ?(deadline = 0.0)
+    (miter : Miter.t) ~m_i ~target ~chosen =
   let stop_at = Deadline.after deadline in
   let solver = Sat.Solver.create () in
   (* Preprocessing stays opt-out here: cube enumeration consumes onset
@@ -23,6 +23,17 @@ let compute ?(budget = 0) ?(max_cubes = 50_000) ?(deadline = 0.0) (miter : Miter
      different (often far larger) cube set, changing patch gates.  The
      [enabled] toggle still applies so A/B runs stay meaningful. *)
   let simp = Sat.Simplify.create ~enabled:false solver in
+  (* The tap also records the blocking clauses added during enumeration, so
+     each certification checks the claim against the clause set the solver
+     actually held at that point. *)
+  let cert_log = if certify then Some (Cert.attach simp) else None in
+  let cert_budget = if budget > 0 then 10 * budget else 0 in
+  let certify_unsat site assumptions =
+    match cert_log with
+    | None -> ()
+    | Some log ->
+      ignore (Cert.record site (Cert.certify_unsat ~budget:cert_budget log ~assumptions))
+  in
   let env = Aig.Cnf.create ~simp miter.Miter.mgr solver in
   let m_sat = Aig.Cnf.lit env m_i in
   let n_sat = Aig.Cnf.lit env (Miter.target_lit miter target) in
@@ -69,7 +80,10 @@ let compute ?(budget = 0) ?(max_cubes = 50_000) ?(deadline = 0.0) (miter : Miter
     if !n_cubes > max_cubes then raise Min_assume.Budget_exhausted;
     if Deadline.expired stop_at then raise Min_assume.Budget_exhausted;
     match solve onset_assumptions with
-    | Sat.Solver.Unsat -> continue := false
+    | Sat.Solver.Unsat ->
+      (* Terminating verdict: the onset is covered — certify it. *)
+      certify_unsat "patch_fun.onset" onset_assumptions;
+      continue := false
     | Sat.Solver.Unknown -> raise Min_assume.Budget_exhausted
     | Sat.Solver.Sat ->
       (* Divisor-space point of this onset witness. *)
@@ -84,6 +98,9 @@ let compute ?(budget = 0) ?(max_cubes = 50_000) ?(deadline = 0.0) (miter : Miter
       (* Expand to a prime cube: minimal literal subset keeping the offset
          side unsatisfiable. *)
       let prime = Min_assume.minimize ~unsat ~base:offset_base cand in
+      (* The accepted prime's UNSAT core (offset-freeness) is what makes the
+         cube sound — certify it before committing the cube. *)
+      certify_unsat "patch_fun.prime" (offset_base @ prime);
       incr n_cubes;
       if prime = [] then begin
         (* Empty cube: the offset is empty — the patch is constant 1. *)

@@ -26,6 +26,7 @@ exception Exhausted of partial
 
 val compute :
   ?budget:int ->
+  ?certify:bool ->
   ?max_cubes:int ->
   ?deadline:float ->
   Miter.t ->
@@ -38,4 +39,9 @@ val compute :
     established by {!Support} — otherwise the enumeration detects the
     inconsistency and raises [Failure].  Raises {!Exhausted} (with the
     partial effort counts) on conflict-budget timeout, cube-cap overflow,
-    or when [deadline] (wall-clock seconds, see {!Deadline}) passes. *)
+    or when [deadline] (wall-clock seconds, see {!Deadline}) passes.
+
+    With [~certify:true], every accepted prime's offset-UNSAT core and the
+    terminating onset-UNSAT verdict are independently certified (see
+    {!Cert}); outcomes land in the [cert.*] telemetry counters.  The
+    enumeration itself is unchanged. *)

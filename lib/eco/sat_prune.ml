@@ -36,8 +36,9 @@ let minimum_support ?budget ?(max_iterations = 2000) ?(deadline = 0.0) ?incumben
           Some (Some { inc with Support.sat_calls = Two_copy.solver_calls tc - calls0 })
       | _ ->
         let assumptions = List.map (Two_copy.selector tc) candidate in
-        if Two_copy.unsat_with ?budget tc assumptions then
+        if Two_copy.unsat_with ?budget tc assumptions then begin
           (* Feasible and cost-minimal (hitting-set duality). *)
+          ignore (Two_copy.certify_core tc "sat_prune.core" assumptions);
           result :=
             Some
               (Some
@@ -46,6 +47,7 @@ let minimum_support ?budget ?(max_iterations = 2000) ?(deadline = 0.0) ?incumben
                    cost = Support.cost_of tc candidate;
                    sat_calls = Two_copy.solver_calls tc - calls0;
                  })
+        end
         else begin
           let clause = Two_copy.model_divisor_mismatch tc in
           clauses := clause :: !clauses

