@@ -21,6 +21,8 @@
                    (models re-evaluated, UNSAT proofs replayed); prints a
                    certification summary and exits non-zero if any check
                    fails
+   --reuse-sessions serve all targets of each unit from one incremental
+                   SAT session instead of a fresh instance per target
    --json FILE     write the Table 1 telemetry JSON here
                    (default BENCH_table1.json) *)
 
@@ -43,6 +45,7 @@ let () =
   if List.mem "--no-simplify" args then Sat.Simplify.enabled := false;
   let verify = not (List.mem "--no-verify" args) in
   let certify = List.mem "--certify" args in
+  let reuse = List.mem "--reuse-sessions" args in
   (* Consume "-j N" / "--json FILE" pairs (and "-jN"), leaving the
      experiment name. *)
   let jobs = ref 1 in
@@ -58,14 +61,14 @@ let () =
       match int_of_string_opt (String.sub a 2 (String.length a - 2)) with
       | Some n when n >= 1 -> jobs := n; strip rest
       | _ -> Printf.eprintf "bad option %S\n" a; exit 2)
-    | ("--no-simplify" | "--no-verify" | "--certify") :: rest -> strip rest
+    | ("--no-simplify" | "--no-verify" | "--certify" | "--reuse-sessions") :: rest -> strip rest
     | a :: rest -> a :: strip rest
   in
   let what = match strip args with [] -> "all" | w :: _ -> w in
   let jobs = !jobs in
   let json = !json in
   let table1 units =
-    ignore (Table1.run ~units ~json ~jobs ~verify ~certify ());
+    ignore (Table1.run ~units ~json ~jobs ~verify ~certify ~reuse ());
     if certify then begin
       let snap = Telemetry.snapshot () in
       let get n = match List.assoc_opt n snap with Some v -> v | None -> 0 in

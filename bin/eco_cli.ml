@@ -67,8 +67,11 @@ let solve_cmd =
   let certify =
     Arg.(value & flag & info [ "certify" ] ~doc:"Independently certify every final SAT/UNSAT verdict: models are evaluated against the original clause sets and UNSAT answers re-derived with their resolution proofs replayed by a standalone checker.  Exits non-zero if any check fails.")
   in
+  let reuse_sessions =
+    Arg.(value & flag & info [ "reuse-sessions" ] ~doc:"Serve all targets of the unit from one incremental SAT session (shared solver and CNF encoding, retractable per-target clause groups) instead of a fresh instance per target; encode savings land in the session.* counters.")
+  in
   let run impl_file spec_file targets unit_name weights method_ structural out budget stats trace
-      no_simplify certify =
+      no_simplify certify reuse_sessions =
     try
       if no_simplify then Sat.Simplify.enabled := false;
       let instance =
@@ -83,7 +86,9 @@ let solve_cmd =
         | _ -> failwith "pass either --unit or both --impl and --spec"
       in
       let config = Eco.Engine.config_of_method method_ in
-      let config = { config with Eco.Engine.force_structural = structural; certify } in
+      let config =
+        { config with Eco.Engine.force_structural = structural; certify; reuse_sessions }
+      in
       let config =
         if budget > 0 then
           { config with Eco.Engine.sat_budget = budget; feasibility_budget = budget }
@@ -129,7 +134,7 @@ let solve_cmd =
     Term.(
       term_result
         (const run $ impl_file $ spec_file $ targets $ unit_name $ weights $ method_ $ structural
-       $ out $ budget $ stats $ trace $ no_simplify $ certify))
+       $ out $ budget $ stats $ trace $ no_simplify $ certify $ reuse_sessions))
   in
   Cmd.v (Cmd.info "solve" ~doc:"Compute ECO patch functions for the given targets.") term
 
@@ -180,7 +185,10 @@ let batch_cmd =
   let certify =
     Arg.(value & flag & info [ "certify" ] ~doc:"Independently certify every final SAT/UNSAT verdict of every unit; the batch fails if any check fails.")
   in
-  let run units jobs method_ no_verify no_simplify stats certify =
+  let reuse_sessions =
+    Arg.(value & flag & info [ "reuse-sessions" ] ~doc:"Serve all targets of each unit from one incremental SAT session instead of a fresh instance per target.")
+  in
+  let run units jobs method_ no_verify no_simplify stats certify reuse_sessions =
     try
       if no_simplify then Sat.Simplify.enabled := false;
       if jobs < 1 then failwith "-j expects a positive worker count";
@@ -197,7 +205,7 @@ let batch_cmd =
       in
       let config_for (spec : Gen.Suite.unit_spec) =
         let c = Eco.Engine.config_of_method method_ in
-        let c = { c with Eco.Engine.certify } in
+        let c = { c with Eco.Engine.certify; reuse_sessions } in
         let c = if no_verify then { c with Eco.Engine.verify = false } else c in
         if spec.Gen.Suite.structural then
           { c with Eco.Engine.force_structural = true; use_qbf = false; verify_budget = 10_000 }
@@ -259,7 +267,7 @@ let batch_cmd =
   in
   Cmd.v
     (Cmd.info "batch" ~doc:"Solve a list of benchmark units, optionally in parallel over worker domains.")
-    Term.(term_result (const run $ units $ jobs $ method_ $ no_verify $ no_simplify $ stats $ certify))
+    Term.(term_result (const run $ units $ jobs $ method_ $ no_verify $ no_simplify $ stats $ certify $ reuse_sessions))
 
 let suite_cmd =
   let run () =

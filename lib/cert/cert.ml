@@ -62,11 +62,18 @@ let record site v =
         [ ("site", Telemetry.Value.Str site); ("reason", Telemetry.Value.Str reason) ]);
   v
 
-let certify_sat log ~value =
+let certify_sat ?(assumptions = []) log ~value =
   Telemetry.Counter.incr tc_models;
-  match Checker.check_model ~value (Sat.Vec.to_list log.clauses) with
-  | Checker.Valid -> Certified
-  | Checker.Invalid reason -> Check_failed reason
+  (* Assumption literals are part of the claim but not of the recorded
+     clause set (e.g. a session's copy-output constraints): the model must
+     satisfy them too, or the verdict "SAT under these assumptions" is
+     unsupported. *)
+  if List.exists (fun l -> not (value l)) assumptions then
+    Check_failed "model does not satisfy an assumption literal"
+  else
+    match Checker.check_model ~value (Sat.Vec.to_list log.clauses) with
+    | Checker.Valid -> Certified
+    | Checker.Invalid reason -> Check_failed reason
 
 (* Canonical (sorted, duplicate-free) literal array, for leaf lookups. *)
 let canon lits =

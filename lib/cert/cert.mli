@@ -42,10 +42,13 @@ val record_clause : log -> Sat.Lit.t array -> unit
 
 val n_clauses : log -> int
 
-val certify_sat : log -> value:(Sat.Lit.t -> bool) -> verdict
+val certify_sat : ?assumptions:Sat.Lit.t list -> log -> value:(Sat.Lit.t -> bool) -> verdict
 (** Certifies a SAT verdict: [value] (typically {!Sat.Simplify.value} on
     the session's simplifier, which replays the model-extension stack)
-    must satisfy every recorded clause. *)
+    must satisfy every recorded clause, and every literal in
+    [?assumptions] — constraints the session carried as assumptions rather
+    than clauses (e.g. an incremental session's copy-output literals),
+    which the recorded clause set alone cannot witness. *)
 
 val certify_unsat : ?budget:int -> log -> assumptions:Sat.Lit.t list -> verdict
 (** Certifies an UNSAT verdict: the recorded clauses together with the

@@ -15,6 +15,7 @@ type config = {
   sat_prune_deadline : float; (* seconds per target for the exact search *)
   sweep_patches : bool; (* SAT-sweep structural patch circuits *)
   patch_deadline : float; (* seconds per target for cube enumeration *)
+  reuse_sessions : bool; (* one incremental SAT session per unit *)
 }
 
 let config_of_method m =
@@ -33,6 +34,7 @@ let config_of_method m =
     sat_prune_deadline = 15.0;
     sweep_patches = true;
     patch_deadline = 60.0;
+    reuse_sessions = false;
   }
 
 let default_config = config_of_method Min_assume
@@ -88,6 +90,7 @@ let tc_targets = Telemetry.Counter.make "eco.targets_patched"
 let tc_structural = Telemetry.Counter.make "eco.structural_patches"
 let tc_cubes = Telemetry.Counter.make "eco.cubes_enumerated"
 let tc_sat_calls = Telemetry.Counter.make "eco.sat_calls"
+let tc_discarded = Telemetry.Counter.make "eco.discarded_targets"
 
 let check_feasibility config (miter : Miter.t) notes =
   Telemetry.with_phase "feasibility" @@ fun () ->
@@ -122,15 +125,68 @@ let check_feasibility config (miter : Miter.t) notes =
 
 exception Step_infeasible of string
 
+(* One completed SAT-pipeline step.  Telemetry for it (eco.targets_patched,
+   eco.cubes_enumerated, the per-target event) is deferred to
+   [commit_steps] at outcome time: the run can still fail outright, and a
+   discarded patch must not be counted as patched. *)
+type step = {
+  step_name : string;
+  step_patch : Patch.t;
+  step_support : int;
+  step_cost : int;
+  step_support_calls : int;
+  step_cubes : int;
+  step_patch_calls : int;
+}
+
+let commit_steps acc =
+  let steps = List.rev acc in
+  List.map
+    (fun s ->
+      Telemetry.Counter.incr tc_targets;
+      Telemetry.Counter.add tc_cubes s.step_cubes;
+      Telemetry.event "eco.target"
+        ~fields:
+          [
+            ("target", Telemetry.Value.Str s.step_name);
+            ("support", Telemetry.Value.Int s.step_support);
+            ("cost", Telemetry.Value.Int s.step_cost);
+            ("support_sat_calls", Telemetry.Value.Int s.step_support_calls);
+            ("cubes", Telemetry.Value.Int s.step_cubes);
+            ("patch_sat_calls", Telemetry.Value.Int s.step_patch_calls);
+          ];
+      s.step_patch)
+    steps
+
+let discard_steps acc = Telemetry.Counter.add tc_discarded (List.length acc)
+
 (* SAT pipeline: targets one at a time (§3.1); raises
    Min_assume.Budget_exhausted to trigger the structural fallback.
-   Completed patches accumulate in [patches] so a mid-flight timeout keeps
-   the targets already substituted. *)
-let sat_pipeline config (miter : Miter.t) notes sat_calls patches =
+   Completed steps accumulate in [acc] so a mid-flight timeout keeps the
+   targets already substituted.  With [config.reuse_sessions] a single
+   incremental session (one solver, one CNF encoding of the shared divisor
+   cones) serves every target's support search and cube enumeration;
+   otherwise each target gets the legacy fresh instance. *)
+let sat_pipeline config (miter : Miter.t) notes sat_calls acc =
+  let session =
+    if config.reuse_sessions then
+      Some (Two_copy.create_session ~certify:config.certify miter)
+    else None
+  in
   List.iter
     (fun (name, _) ->
       let m_i = Miter.quantify_others miter ~keep:name in
-      let tc = Two_copy.build ~certify:config.certify miter ~m_i ~target:name in
+      let tc =
+        match session with
+        | Some tc ->
+          Two_copy.retarget tc ~m_i ~target:name;
+          tc
+        | None -> Two_copy.build ~certify:config.certify miter ~m_i ~target:name
+      in
+      (* Delta accounting: a shared session's call counter spans all
+         targets (a fresh instance starts at 0, so this is the legacy
+         number too). *)
+      let calls0 = Two_copy.solver_calls tc in
       let budget = config.sat_budget in
       let selection =
         (* The two-copy solver calls are charged whether or not the search
@@ -160,10 +216,10 @@ let sat_pipeline config (miter : Miter.t) notes sat_calls patches =
               incumbent)
         with
         | selection ->
-          sat_calls := !sat_calls + Two_copy.solver_calls tc;
+          sat_calls := !sat_calls + (Two_copy.solver_calls tc - calls0);
           selection
         | exception Min_assume.Budget_exhausted ->
-          sat_calls := !sat_calls + Two_copy.solver_calls tc;
+          sat_calls := !sat_calls + (Two_copy.solver_calls tc - calls0);
           raise Min_assume.Budget_exhausted
       in
       match selection with
@@ -173,7 +229,7 @@ let sat_pipeline config (miter : Miter.t) notes sat_calls patches =
           match
             Telemetry.with_phase "patch_fun" @@ fun () ->
             Patch_fun.compute ~budget ~certify:config.certify ~max_cubes:config.max_cubes
-              ~deadline:config.patch_deadline miter ~m_i ~target:name
+              ~deadline:config.patch_deadline ?session miter ~m_i ~target:name
               ~chosen:sel.Support.indices
           with
           | pf -> pf
@@ -187,24 +243,22 @@ let sat_pipeline config (miter : Miter.t) notes sat_calls patches =
         in
         sat_calls := !sat_calls + pf.Patch_fun.sat_calls;
         notes := ("cubes_" ^ name, pf.Patch_fun.cubes_enumerated) :: !notes;
-        Telemetry.Counter.incr tc_targets;
-        Telemetry.Counter.add tc_cubes pf.Patch_fun.cubes_enumerated;
-        Telemetry.event "eco.target"
-          ~fields:
-            [
-              ("target", Telemetry.Value.Str name);
-              ("support", Telemetry.Value.Int (List.length sel.Support.indices));
-              ("cost", Telemetry.Value.Int sel.Support.cost);
-              ("support_sat_calls", Telemetry.Value.Int sel.Support.sat_calls);
-              ("cubes", Telemetry.Value.Int pf.Patch_fun.cubes_enumerated);
-              ("patch_sat_calls", Telemetry.Value.Int pf.Patch_fun.sat_calls);
-            ];
         let support_lits =
           List.map (fun i -> miter.Miter.divisors.(i).Miter.div_lit) sel.Support.indices
         in
         let lit = Patch.import_into pf.Patch_fun.patch miter.Miter.mgr ~support_lits in
         Miter.substitute_patch miter ~target:name lit;
-        patches := pf.Patch_fun.patch :: !patches)
+        acc :=
+          {
+            step_name = name;
+            step_patch = pf.Patch_fun.patch;
+            step_support = List.length sel.Support.indices;
+            step_cost = sel.Support.cost;
+            step_support_calls = sel.Support.sat_calls;
+            step_cubes = pf.Patch_fun.cubes_enumerated;
+            step_patch_calls = pf.Patch_fun.sat_calls;
+          }
+          :: !acc)
     (Miter.remaining_targets miter)
 
 (* Structural fallback (§3.6) for every remaining target. *)
@@ -294,12 +348,13 @@ let structural_pipeline config (miter : Miter.t) window certificate notes =
       p)
     patches
 
-let solve ?(config = default_config) inst =
+let solve ?(config = default_config) ?window inst =
   Telemetry.with_phase "eco" @@ fun () ->
   Telemetry.Counter.incr tc_runs;
   let t0 = Unix.gettimeofday () in
   let notes = ref [] in
   let sat_calls = ref 0 in
+  let acc = ref [] in
   let finish ?miter status patches used_structural =
     (* Verification ladder: random simulation (inside Verify.check), then
        the substituted miter — whose two sides share structure, making the
@@ -380,7 +435,11 @@ let solve ?(config = default_config) inst =
     }
   in
   try
-    let window = Telemetry.with_phase "window" (fun () -> Window.compute inst) in
+    let window =
+      match window with
+      | Some w -> w
+      | None -> Telemetry.with_phase "window" (fun () -> Window.compute inst)
+    in
     let miter = Telemetry.with_phase "miter" (fun () -> Miter.build inst window) in
     if config.force_structural then begin
       let patches = structural_pipeline config miter window None notes in
@@ -394,19 +453,36 @@ let solve ?(config = default_config) inst =
         let patches = structural_pipeline config miter window None notes in
         finish ~miter Solved patches true
       | Feasible certificate -> (
-        let acc = ref [] in
         try
           sat_pipeline config miter notes sat_calls acc;
-          finish ~miter Solved (List.rev !acc) false
-        with Min_assume.Budget_exhausted ->
+          finish ~miter Solved (commit_steps !acc) false
+        with
+        | Min_assume.Budget_exhausted ->
           (* SAT timed out mid-flight: already-substituted patches stay;
              the remaining targets get structural patches. *)
           let structural = structural_pipeline config miter window certificate notes in
-          finish ~miter Solved (List.rev !acc @ structural) true)
+          finish ~miter Solved (commit_steps !acc @ structural) true
+        | Step_infeasible _ ->
+          (* The unit is feasible (checked above) but the raising target
+             admits no
+             patch function over its own divisor set once the earlier
+             targets are substituted — a property of the per-target
+             decomposition, not of the unit.  Failing the whole run here
+             discarded proven-feasible work; route it to the structural
+             fallback like a timeout, keeping the finished patches. *)
+          notes := ("step_infeasible", 1) :: !notes;
+          let structural = structural_pipeline config miter window certificate notes in
+          finish ~miter Solved (commit_steps !acc @ structural) true)
     end
   with
-  | Step_infeasible t -> finish (Failed ("target cannot rectify: " ^ t)) [] false
-  | Failure msg -> finish (Failed msg) [] false
+  | Step_infeasible t ->
+    (* Only reachable without established feasibility (the Feasible branch
+       handles its own); nothing proven is being thrown away. *)
+    discard_steps !acc;
+    finish (Failed ("target cannot rectify: " ^ t)) [] false
+  | Failure msg ->
+    discard_steps !acc;
+    finish (Failed msg) [] false
 
 let pp_outcome ppf o =
   let status =

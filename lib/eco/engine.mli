@@ -41,6 +41,14 @@ type config = {
   patch_deadline : float;
       (** wall-clock seconds per target for cube enumeration before the
           engine falls back to the structural path *)
+  reuse_sessions : bool;
+      (** serve every target of the unit from one incremental SAT session
+          ({!Two_copy.create_session}): one solver and one CNF encoding of
+          the shared divisor cones answer both the two-copy support query
+          and the patch-function onset/offset queries, with per-target
+          blocking cubes in a retractable clause group.  Savings land in
+          the [session.*] telemetry counters.  Off (the default) keeps the
+          legacy fresh-instance-per-target behaviour. *)
 }
 
 val config_of_method : method_ -> config
@@ -68,6 +76,12 @@ type outcome = {
       (** auxiliary counters: cubes, 2QBF iterations, miter copies, … *)
 }
 
-val solve : ?config:config -> Instance.t -> outcome
+val solve : ?config:config -> ?window:Window.t -> Instance.t -> outcome
+(** [?window] overrides the computed rectification window — for callers
+    that restrict the divisor candidates (tests, external windowing).  A
+    target with no patch function over the window's divisors after earlier
+    substitutions no longer fails the unit when feasibility was
+    established: it is routed to the structural fallback and the finished
+    patches are kept. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit

@@ -13,12 +13,7 @@ let count_selection = function
 let cost_of tc indices =
   List.fold_left (fun acc i -> acc + (Two_copy.divisor tc i).Miter.div_cost) 0 indices
 
-let index_of_selector tc l =
-  let n = Two_copy.n_divisors tc in
-  let rec go i =
-    if i >= n then None else if Sat.Lit.equal (Two_copy.selector tc i) l then Some i else go (i + 1)
-  in
-  go 0
+let index_of_selector = Two_copy.index_of_selector
 
 let all_selectors tc = List.init (Two_copy.n_divisors tc) (Two_copy.selector tc)
 

@@ -456,6 +456,21 @@ let add_clause_a t lits =
 
 let add_clause t lits = add_clause_a t (Array.of_list lits)
 
+(* Retractable clause groups, routed through [add_clause] so the clause
+   tap records the group-tagged form (~a \/ C) and the retraction unit —
+   certification then replays exactly what the solver held.  The
+   activation variable is frozen on creation: it has no positive
+   occurrence, so unfrozen it would be eliminated with zero resolvents by
+   the first preprocessing pass, silently deleting the whole group. *)
+
+let new_group t =
+  let g = Solver.new_group t.solver in
+  freeze t (Solver.group_lit g);
+  g
+
+let add_clause_in_group t g lits = add_clause t (Lit.neg (Solver.group_lit g) :: lits)
+let retract_group t g = add_clause t [ Lit.neg (Solver.group_lit g) ]
+
 let simplify t =
   if t.on then begin
     grow_vars t (max 1 (Solver.nvars t.solver));

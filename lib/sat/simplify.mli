@@ -74,6 +74,22 @@ val freeze : t -> Lit.t -> unit
 (** [freeze t l] protects [l]'s variable from elimination (see the
     frozen-variable contract above). *)
 
+val new_group : t -> Solver.group
+(** Allocates a retractable clause group (see {!Solver.new_group}) and
+    freezes its activation variable — mandatory here: the activation
+    literal has no positive occurrence, so an unfrozen activation variable
+    would be eliminated with zero resolvents by the first preprocessing
+    pass, silently deleting the whole group. *)
+
+val add_clause_in_group : t -> Solver.group -> Lit.t list -> unit
+(** Adds a clause active only while {!Solver.group_lit} is assumed.  The
+    clause is routed through {!add_clause}, so the tap (and hence the
+    certification layer) records the group-tagged form [~a \/ C]. *)
+
+val retract_group : t -> Solver.group -> unit
+(** Permanently disables the group (adds the unit negated activation
+    literal through {!add_clause}, so taps record the retraction too). *)
+
 val freeze_var : t -> int -> unit
 (** Variable-index variant of {!freeze}.  Reintroduces the variable's
     clauses if it was already eliminated. *)

@@ -637,6 +637,21 @@ let add_clause_a t lits =
 
 let add_clause t lits = add_clause_a t (Array.of_list lits)
 
+(* Retractable clause groups: a group is an activation literal [a]; a
+   clause C in the group is stored as (~a \/ C), so it only constrains
+   solves that assume [a].  Retraction adds the unit ~a, which makes every
+   group clause permanently satisfied — monotone, so learned clauses stay
+   sound.  Double retraction and additions after retraction are harmless:
+   the level-0 clause simplification in [add_clause_a] drops them as
+   satisfied. *)
+
+type group = Lit.t
+
+let new_group t = Lit.make (new_var t)
+let group_lit (g : group) : Lit.t = g
+let add_clause_in_group t (g : group) lits = add_clause t (Lit.neg g :: lits)
+let retract_group t (g : group) = add_clause t [ Lit.neg g ]
+
 let add_clause_part t part lits =
   match t.proof with
   | Some proof -> add_clause_proof t proof part (Array.of_list lits)

@@ -53,6 +53,34 @@ val add_clause : t -> Lit.t list -> unit
 val add_clause_a : t -> Lit.t array -> unit
 (** Array variant of {!add_clause}; the array is not captured. *)
 
+(** {2 Retractable clause groups}
+
+    A group is an activation literal [a]: {!add_clause_in_group} stores a
+    clause [C] as [~a \/ C], so the clause only constrains [solve] calls
+    that carry [a] ({!group_lit}) among their assumptions.
+    {!retract_group} adds the unit [~a], permanently satisfying (and so
+    disabling) every clause of the group.  Retraction is monotone — it
+    only adds a clause — so learned clauses derived while the group was
+    active remain sound afterwards.  Retracting twice, or adding to a
+    retracted group, is harmless: the new clauses are dropped as satisfied
+    at level 0. *)
+
+type group
+
+val new_group : t -> group
+(** Allocates a fresh activation variable and returns the group. *)
+
+val group_lit : group -> Lit.t
+(** The positive activation literal; pass it in [solve]'s assumptions to
+    activate the group's clauses. *)
+
+val add_clause_in_group : t -> group -> Lit.t list -> unit
+(** Adds a clause that holds only while the group is assumed active. *)
+
+val retract_group : t -> group -> unit
+(** Permanently disables the group's clauses (adds the unit negated
+    activation literal). *)
+
 val okay : t -> bool
 (** [false] once the clause set is unsatisfiable without assumptions. *)
 

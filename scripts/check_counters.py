@@ -12,7 +12,13 @@ Checked per row:
     (increase) beyond the tolerance: a row fails when
         fresh > baseline * (1 + tol) + slack.
     Decreases are improvements: they are reported so the baseline can be
-    refreshed, but never fail the gate.
+    refreshed, but never fail the gate;
+  - the counters in STRICT_COUNTERS must not increase at all (no
+    tolerance, no slack);
+  - the set of counter *names* across the common rows must match — an
+    added or removed counter means the instrumentation changed and the
+    baseline must be regenerated, so the gate fails with the name diff
+    rather than comparing a renamed counter against 0.
 
 Counters are deterministic (conflict counts, propagations, SAT calls — no
 wall-clock anywhere), so the tolerance only absorbs deliberate small
@@ -36,6 +42,14 @@ GATED_COUNTERS = [
     "sat.propagations",
     "sat.decisions",
     "sat.solves",
+]
+
+# Counters where any increase is a regression, with no tolerance or slack.
+# eco.discarded_targets counts per-target patches that were computed and
+# then thrown away by a Failed path; the baseline sweep solves every unit,
+# so this should stay at zero.
+STRICT_COUNTERS = [
+    "eco.discarded_targets",
 ]
 
 ABS_SLACK = 16
@@ -76,6 +90,32 @@ def main():
     failures = []
     improvements = []
 
+    # A changed counter *name set* means the instrumentation itself moved
+    # (counters added or removed), which makes per-name comparisons
+    # meaningless: a renamed counter would silently compare against 0.
+    # Fail with the explicit name diff instead of a confusing per-row
+    # mismatch, and point at the re-baselining recipe.
+    fresh_names = set()
+    base_names = set()
+    for key in keys:
+        fresh_names |= set(fresh[key].get("counters", {}))
+        base_names |= set(base[key].get("counters", {}))
+    added = sorted(fresh_names - base_names)
+    removed = sorted(base_names - fresh_names)
+    if added or removed:
+        print("error: counter name set changed between baseline and fresh run",
+              file=sys.stderr)
+        if added:
+            print(f"  added (in fresh, not in baseline): {', '.join(added)}",
+                  file=sys.stderr)
+        if removed:
+            print(f"  removed (in baseline, not in fresh): {', '.join(removed)}",
+                  file=sys.stderr)
+        print("  if the change is intentional, re-baseline with:\n"
+              "    dune exec bench/main.exe -- table1 --json BENCH_table1.json\n"
+              "  and commit the result (see EXPERIMENTS.md).", file=sys.stderr)
+        return 1
+
     for key in keys:
         f, b = fresh[key], base[key]
         label = f"{key[0]}/{key[1]}"
@@ -102,6 +142,14 @@ def main():
                     f"{label}: {name} regressed {bv} -> {fv} (limit {limit:.0f})"
                 )
             elif fv < bv * (1 - args.tolerance) - ABS_SLACK:
+                improvements.append(f"{label}: {name} improved {bv} -> {fv}")
+        for name in STRICT_COUNTERS:
+            fv, bv = fc.get(name, 0), bc.get(name, 0)
+            if fv > bv:
+                failures.append(
+                    f"{label}: {name} increased {bv} -> {fv} (strict: no increase allowed)"
+                )
+            elif fv < bv:
                 improvements.append(f"{label}: {name} improved {bv} -> {fv}")
 
     print(f"checked {len(keys)} rows against {args.baseline}")

@@ -174,6 +174,62 @@ let test_cert_assumption_core () =
   | Cert.Certified -> Alcotest.fail "certified a non-core"
   | Cert.Check_failed _ -> ()
 
+let test_cert_group_session () =
+  (* Group-tagged clauses reach the tap in their activation-literal form
+     and retraction units are recorded too, so certification replays the
+     exact clause set the solver held: UNSAT under an active group
+     certifies with the activation literal in the assumption list, and
+     after retraction the recorded unit makes activation itself
+     refutable. *)
+  let solver, simp, log = session () in
+  ignore (Sat.Solver.new_vars solver 2);
+  Sat.Simplify.add_clause simp [ lit 0; lit 1 ];
+  let g = Sat.Simplify.new_group simp in
+  let gl = Sat.Solver.group_lit g in
+  Sat.Simplify.add_clause_in_group simp g [ nlit 0 ];
+  Sat.Simplify.add_clause_in_group simp g [ nlit 1 ];
+  (match Sat.Simplify.solve ~assumptions:[ gl ] simp with
+  | Sat.Solver.Unsat -> ()
+  | _ -> Alcotest.fail "expected UNSAT under activation");
+  (match Cert.certify_unsat log ~assumptions:[ gl ] with
+  | Cert.Certified -> ()
+  | Cert.Check_failed r -> Alcotest.fail r);
+  (* Without the activation literal the set is satisfiable — a claimed
+     unconditional UNSAT must be refused. *)
+  (match Cert.certify_unsat log ~assumptions:[] with
+  | Cert.Certified -> Alcotest.fail "certified UNSAT without the activation literal"
+  | Cert.Check_failed _ -> ());
+  (* A SAT verdict with the group inactive certifies, with the disabled
+     activation carried as a (negated) assumption. *)
+  (match Sat.Simplify.solve ~assumptions:[ Sat.Lit.neg gl ] simp with
+  | Sat.Solver.Sat -> ()
+  | _ -> Alcotest.fail "expected SAT with group disabled");
+  (match Cert.certify_sat ~assumptions:[ Sat.Lit.neg gl ] log ~value:(Sat.Simplify.value simp) with
+  | Cert.Certified -> ()
+  | Cert.Check_failed r -> Alcotest.fail r);
+  (* Retraction is part of the recorded clause set: activating the dead
+     group is now unconditionally refutable. *)
+  Sat.Simplify.retract_group simp g;
+  match Cert.certify_unsat log ~assumptions:[ gl ] with
+  | Cert.Certified -> ()
+  | Cert.Check_failed r -> Alcotest.fail r
+
+let test_cert_sat_assumption_mismatch () =
+  (* certify_sat must refuse a model that falsifies a claimed assumption
+     even when every recorded clause is satisfied. *)
+  let solver, simp, log = session () in
+  ignore (Sat.Solver.new_vars solver 2);
+  Sat.Simplify.add_clause simp [ lit 0; lit 1 ];
+  (match Sat.Simplify.solve ~assumptions:[ lit 0 ] simp with
+  | Sat.Solver.Sat -> ()
+  | _ -> Alcotest.fail "expected SAT");
+  (match Cert.certify_sat ~assumptions:[ lit 0 ] log ~value:(Sat.Simplify.value simp) with
+  | Cert.Certified -> ()
+  | Cert.Check_failed r -> Alcotest.fail r);
+  match Cert.certify_sat ~assumptions:[ nlit 0 ] log ~value:(Sat.Simplify.value simp) with
+  | Cert.Certified -> Alcotest.fail "certified a model violating an assumption"
+  | Cert.Check_failed _ -> ()
+
 let test_cert_forged_unsat () =
   (* Claiming UNSAT on a satisfiable session: the re-derivation finds a
      model and the claim dies. *)
@@ -387,6 +443,8 @@ let () =
           Alcotest.test_case "SAT session certifies" `Quick test_cert_sat_session;
           Alcotest.test_case "UNSAT session certifies" `Quick test_cert_unsat_session;
           Alcotest.test_case "assumption core certifies" `Quick test_cert_assumption_core;
+          Alcotest.test_case "clause groups certify" `Quick test_cert_group_session;
+          Alcotest.test_case "SAT assumption mismatch refused" `Quick test_cert_sat_assumption_mismatch;
           Alcotest.test_case "forged UNSAT refused" `Quick test_cert_forged_unsat;
         ] );
       ( "fuzz",

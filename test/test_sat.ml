@@ -220,6 +220,90 @@ let dimacs_roundtrip =
       let cnf' = Sat.Dimacs.parse_string (Sat.Dimacs.to_string cnf) in
       cnf'.Sat.Dimacs.clauses = clauses && cnf'.Sat.Dimacs.num_vars >= nv)
 
+let test_group_activation () =
+  let s = Sat.Solver.create () in
+  let a = Sat.Solver.new_var s and b = Sat.Solver.new_var s in
+  let g = Sat.Solver.new_group s in
+  let gl = Sat.Solver.group_lit g in
+  Sat.Solver.add_clause_in_group s g [ lit a ];
+  Sat.Solver.add_clause_in_group s g [ nlit a; lit b ];
+  (* Inactive group does not constrain. *)
+  (match Sat.Solver.solve ~assumptions:[ nlit a; nlit b ] s with
+  | Sat.Solver.Sat -> ()
+  | _ -> Alcotest.fail "inactive group must not constrain");
+  (* Active group forces a and b. *)
+  (match Sat.Solver.solve ~assumptions:[ gl ] s with
+  | Sat.Solver.Sat ->
+    Alcotest.(check bool) "a forced" true (Sat.Solver.value s (lit a));
+    Alcotest.(check bool) "b forced" true (Sat.Solver.value s (lit b))
+  | _ -> Alcotest.fail "expected SAT under activation");
+  Alcotest.(check bool) "group conflicts"
+    true
+    (Sat.Solver.solve ~assumptions:[ gl; nlit b ] s = Sat.Solver.Unsat)
+
+let test_group_retract () =
+  let s = Sat.Solver.create () in
+  let a = Sat.Solver.new_var s in
+  let g = Sat.Solver.new_group s in
+  let gl = Sat.Solver.group_lit g in
+  Sat.Solver.add_clause_in_group s g [ lit a ];
+  Alcotest.(check bool) "active" true (Sat.Solver.solve ~assumptions:[ gl; nlit a ] s = Sat.Solver.Unsat);
+  Sat.Solver.retract_group s g;
+  (* The retracted group's clauses are gone for good... *)
+  Alcotest.(check bool) "retracted" true (Sat.Solver.solve ~assumptions:[ nlit a ] s = Sat.Solver.Sat);
+  (* ... its activation literal is now falsified... *)
+  Alcotest.(check bool) "activation dead" true (Sat.Solver.solve ~assumptions:[ gl ] s = Sat.Solver.Unsat);
+  (* ... double retraction and adding into a dead group are harmless. *)
+  Sat.Solver.retract_group s g;
+  Sat.Solver.add_clause_in_group s g [ lit a ];
+  Alcotest.(check bool) "add after retract inert" true
+    (Sat.Solver.solve ~assumptions:[ nlit a ] s = Sat.Solver.Sat)
+
+let test_group_independence () =
+  (* Two groups activate and retract independently over shared variables. *)
+  let s = Sat.Solver.create () in
+  let a = Sat.Solver.new_var s in
+  let g1 = Sat.Solver.new_group s and g2 = Sat.Solver.new_group s in
+  Sat.Solver.add_clause_in_group s g1 [ lit a ];
+  Sat.Solver.add_clause_in_group s g2 [ nlit a ];
+  let l1 = Sat.Solver.group_lit g1 and l2 = Sat.Solver.group_lit g2 in
+  Alcotest.(check bool) "both active clash" true
+    (Sat.Solver.solve ~assumptions:[ l1; l2 ] s = Sat.Solver.Unsat);
+  Alcotest.(check bool) "g1 alone" true (Sat.Solver.solve ~assumptions:[ l1 ] s = Sat.Solver.Sat);
+  Alcotest.(check bool) "a true under g1" true (Sat.Solver.value s (lit a));
+  Sat.Solver.retract_group s g1;
+  Alcotest.(check bool) "g2 after g1 retracted" true
+    (Sat.Solver.solve ~assumptions:[ l2 ] s = Sat.Solver.Sat);
+  Alcotest.(check bool) "a false under g2" true (Sat.Solver.value s (nlit a))
+
+let test_group_simplify_freeze () =
+  (* With the preprocessor enabled, the activation variable has no positive
+     occurrence; unfrozen it would be eliminated with zero resolvents,
+     silently deleting the whole group.  [Simplify.new_group] must freeze
+     it. *)
+  let s = Sat.Solver.create () in
+  let simp = Sat.Simplify.create ~enabled:true s in
+  let a = Sat.Solver.new_var s and b = Sat.Solver.new_var s in
+  Sat.Simplify.freeze simp (lit a);
+  Sat.Simplify.freeze simp (lit b);
+  let g = Sat.Simplify.new_group simp in
+  let gl = Sat.Solver.group_lit g in
+  Sat.Simplify.add_clause_in_group simp g [ lit a ];
+  Sat.Simplify.add_clause simp [ nlit a; lit b ];
+  Sat.Simplify.simplify simp;
+  Alcotest.(check bool) "activation var survives preprocessing" false
+    (Sat.Simplify.is_eliminated simp (Sat.Lit.var gl));
+  Alcotest.(check bool) "active group propagates" true
+    (Sat.Simplify.solve ~assumptions:[ gl; nlit b ] simp = Sat.Solver.Unsat);
+  Alcotest.(check bool) "inactive group free" true
+    (Sat.Simplify.solve ~assumptions:[ nlit a; nlit b ] simp = Sat.Solver.Sat);
+  Sat.Simplify.retract_group simp g;
+  Sat.Simplify.simplify simp;
+  Alcotest.(check bool) "retract through simplifier" true
+    (Sat.Simplify.solve ~assumptions:[ nlit a; nlit b ] simp = Sat.Solver.Sat);
+  Alcotest.(check bool) "activation dead after retract" true
+    (Sat.Simplify.solve ~assumptions:[ gl ] simp = Sat.Solver.Unsat)
+
 let test_dimacs_parse () =
   let cnf = Sat.Dimacs.parse_string "c comment\np cnf 3 2\n1 -2 0\n2 3 0\n" in
   Alcotest.(check int) "vars" 3 cnf.Sat.Dimacs.num_vars;
@@ -245,6 +329,10 @@ let () =
           Alcotest.test_case "budget gives unknown" `Quick test_budget_unknown;
           Alcotest.test_case "incremental narrowing" `Quick test_incremental_narrowing;
           Alcotest.test_case "xor chains" `Quick test_xor_bank;
+          Alcotest.test_case "group activation" `Quick test_group_activation;
+          Alcotest.test_case "group retraction" `Quick test_group_retract;
+          Alcotest.test_case "group independence" `Quick test_group_independence;
+          Alcotest.test_case "group freeze under simplify" `Quick test_group_simplify_freeze;
           Alcotest.test_case "dimacs parse" `Quick test_dimacs_parse;
         ] );
       ("property", [ random_cross_check; random_core_check; dimacs_roundtrip ]);
