@@ -23,6 +23,9 @@
                    fails
    --reuse-sessions serve all targets of each unit from one incremental
                    SAT session instead of a fresh instance per target
+   --inprocess     with --reuse-sessions: run an inprocessing round on each
+                   session solver after every retarget (sat.inprocess.*
+                   counters)
    --json FILE     write the Table 1 telemetry JSON here
                    (default BENCH_table1.json) *)
 
@@ -46,6 +49,7 @@ let () =
   let verify = not (List.mem "--no-verify" args) in
   let certify = List.mem "--certify" args in
   let reuse = List.mem "--reuse-sessions" args in
+  let inprocess = List.mem "--inprocess" args in
   (* Consume "-j N" / "--json FILE" pairs (and "-jN"), leaving the
      experiment name. *)
   let jobs = ref 1 in
@@ -61,14 +65,15 @@ let () =
       match int_of_string_opt (String.sub a 2 (String.length a - 2)) with
       | Some n when n >= 1 -> jobs := n; strip rest
       | _ -> Printf.eprintf "bad option %S\n" a; exit 2)
-    | ("--no-simplify" | "--no-verify" | "--certify" | "--reuse-sessions") :: rest -> strip rest
+    | ("--no-simplify" | "--no-verify" | "--certify" | "--reuse-sessions" | "--inprocess") :: rest
+      -> strip rest
     | a :: rest -> a :: strip rest
   in
   let what = match strip args with [] -> "all" | w :: _ -> w in
   let jobs = !jobs in
   let json = !json in
   let table1 units =
-    ignore (Table1.run ~units ~json ~jobs ~verify ~certify ~reuse ());
+    ignore (Table1.run ~units ~json ~jobs ~verify ~certify ~reuse ~inprocess ());
     if certify then begin
       let snap = Telemetry.snapshot () in
       let get n = match List.assoc_opt n snap with Some v -> v | None -> 0 in

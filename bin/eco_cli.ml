@@ -70,8 +70,11 @@ let solve_cmd =
   let reuse_sessions =
     Arg.(value & flag & info [ "reuse-sessions" ] ~doc:"Serve all targets of the unit from one incremental SAT session (shared solver and CNF encoding, retractable per-target clause groups) instead of a fresh instance per target; encode savings land in the session.* counters.")
   in
+  let inprocess =
+    Arg.(value & flag & info [ "inprocess" ] ~doc:"With --reuse-sessions: run an inprocessing round (clause GC, learnt re-subsumption, vivification, XOR/Gauss, failed-literal probing, equivalent-literal substitution) on the session solver after each retarget; progress lands in the sat.inprocess.* counters.")
+  in
   let run impl_file spec_file targets unit_name weights method_ structural out budget stats trace
-      no_simplify certify reuse_sessions =
+      no_simplify certify reuse_sessions inprocess =
     try
       if no_simplify then Sat.Simplify.enabled := false;
       let instance =
@@ -87,7 +90,7 @@ let solve_cmd =
       in
       let config = Eco.Engine.config_of_method method_ in
       let config =
-        { config with Eco.Engine.force_structural = structural; certify; reuse_sessions }
+        { config with Eco.Engine.force_structural = structural; certify; reuse_sessions; inprocess }
       in
       let config =
         if budget > 0 then
@@ -134,7 +137,7 @@ let solve_cmd =
     Term.(
       term_result
         (const run $ impl_file $ spec_file $ targets $ unit_name $ weights $ method_ $ structural
-       $ out $ budget $ stats $ trace $ no_simplify $ certify $ reuse_sessions))
+       $ out $ budget $ stats $ trace $ no_simplify $ certify $ reuse_sessions $ inprocess))
   in
   Cmd.v (Cmd.info "solve" ~doc:"Compute ECO patch functions for the given targets.") term
 
@@ -188,7 +191,10 @@ let batch_cmd =
   let reuse_sessions =
     Arg.(value & flag & info [ "reuse-sessions" ] ~doc:"Serve all targets of each unit from one incremental SAT session instead of a fresh instance per target.")
   in
-  let run units jobs method_ no_verify no_simplify stats certify reuse_sessions =
+  let inprocess =
+    Arg.(value & flag & info [ "inprocess" ] ~doc:"With --reuse-sessions: inprocess each unit's session solver after every retarget (sat.inprocess.* counters).")
+  in
+  let run units jobs method_ no_verify no_simplify stats certify reuse_sessions inprocess =
     try
       if no_simplify then Sat.Simplify.enabled := false;
       if jobs < 1 then failwith "-j expects a positive worker count";
@@ -205,7 +211,7 @@ let batch_cmd =
       in
       let config_for (spec : Gen.Suite.unit_spec) =
         let c = Eco.Engine.config_of_method method_ in
-        let c = { c with Eco.Engine.certify; reuse_sessions } in
+        let c = { c with Eco.Engine.certify; reuse_sessions; inprocess } in
         let c = if no_verify then { c with Eco.Engine.verify = false } else c in
         if spec.Gen.Suite.structural then
           { c with Eco.Engine.force_structural = true; use_qbf = false; verify_budget = 10_000 }
@@ -267,7 +273,7 @@ let batch_cmd =
   in
   Cmd.v
     (Cmd.info "batch" ~doc:"Solve a list of benchmark units, optionally in parallel over worker domains.")
-    Term.(term_result (const run $ units $ jobs $ method_ $ no_verify $ no_simplify $ stats $ certify $ reuse_sessions))
+    Term.(term_result (const run $ units $ jobs $ method_ $ no_verify $ no_simplify $ stats $ certify $ reuse_sessions $ inprocess))
 
 let suite_cmd =
   let run () =

@@ -16,6 +16,7 @@ type config = {
   sweep_patches : bool; (* SAT-sweep structural patch circuits *)
   patch_deadline : float; (* seconds per target for cube enumeration *)
   reuse_sessions : bool; (* one incremental SAT session per unit *)
+  inprocess : bool; (* inprocess the session's solver between targets *)
 }
 
 let config_of_method m =
@@ -35,6 +36,7 @@ let config_of_method m =
     sweep_patches = true;
     patch_deadline = 60.0;
     reuse_sessions = false;
+    inprocess = false;
   }
 
 let default_config = config_of_method Min_assume
@@ -170,7 +172,9 @@ let discard_steps acc = Telemetry.Counter.add tc_discarded (List.length acc)
 let sat_pipeline config (miter : Miter.t) notes sat_calls acc =
   let session =
     if config.reuse_sessions then
-      Some (Two_copy.create_session ~certify:config.certify miter)
+      Some
+        (Two_copy.create_session ~certify:config.certify
+           ~inprocess:config.inprocess miter)
     else None
   in
   List.iter

@@ -49,6 +49,15 @@ type config = {
           blocking cubes in a retractable clause group.  Savings land in
           the [session.*] telemetry counters.  Off (the default) keeps the
           legacy fresh-instance-per-target behaviour. *)
+  inprocess : bool;
+      (** with [reuse_sessions], run one {!Sat.Simplify.inprocess} round
+          after each retarget onto a previously-used solver database:
+          garbage-collect the retracted cube group, re-subsume and vivify
+          learnt clauses, recover XOR constraints, probe failed literals,
+          and substitute equivalent literals.  Statuses and costs are
+          unchanged (all derivations are implied clauses); propagation and
+          conflict counts drop.  Progress lands in the [sat.inprocess.*]
+          telemetry counters.  No effect without [reuse_sessions]. *)
 }
 
 val config_of_method : method_ -> config

@@ -39,6 +39,7 @@ type t = {
   divisors : Miter.divisor array;
   cert : Cert.log option; (* original clause set, when certifying *)
   sel_index : (int, int) Hashtbl.t; (* selector var -> divisor index *)
+  inprocess : bool; (* run Simplify.inprocess after each retarget *)
   kind : kind;
 }
 
@@ -116,9 +117,20 @@ let build ?(certify = false) (miter : Miter.t) ~m_i ~target =
   let sel, d1, d2, sel_index = init_selectors simp solver env d1_lits d2_lits miter.Miter.divisors in
   Telemetry.Counter.incr tc_encodes;
   count_encoded solver 0 0;
-  { solver; simp; sel; d1; d2; divisors = miter.Miter.divisors; cert; sel_index; kind = Single }
+  {
+    solver;
+    simp;
+    sel;
+    d1;
+    d2;
+    divisors = miter.Miter.divisors;
+    cert;
+    sel_index;
+    inprocess = false;
+    kind = Single;
+  }
 
-let create_session ?(certify = false) (miter : Miter.t) =
+let create_session ?(certify = false) ?(inprocess = false) (miter : Miter.t) =
   let src = miter.Miter.mgr in
   let mgr2 = Aig.create () in
   let div_lits = Array.to_list (Array.map (fun d -> d.Miter.div_lit) miter.Miter.divisors) in
@@ -153,7 +165,18 @@ let create_session ?(certify = false) (miter : Miter.t) =
   in
   Telemetry.Counter.incr tc_encodes;
   count_encoded solver 0 0;
-  { solver; simp; sel; d1; d2; divisors = miter.Miter.divisors; cert; sel_index; kind = Session session }
+  {
+    solver;
+    simp;
+    sel;
+    d1;
+    d2;
+    divisors = miter.Miter.divisors;
+    cert;
+    sel_index;
+    inprocess;
+    kind = Session session;
+  }
 
 let session_of t =
   match t.kind with
@@ -203,7 +226,19 @@ let retarget t ~m_i ~target =
     Telemetry.Counter.incr tc_retargets;
     Telemetry.Counter.incr tc_encodes_saved
   end;
-  count_encoded t.solver vars0 clauses0
+  count_encoded t.solver vars0 clauses0;
+  (* Inprocessing trigger: once per retarget onto a previously-used
+     database — the moment the retracted group's cubes become garbage and
+     the learnt set reflects a finished target.  The fresh first target
+     has nothing to clean. *)
+  (* Equivalent-literal substitution is deliberately off here: rewriting
+     clauses changes which selectors [analyze_final] reaches, so the
+     baseline method's support (and hence reported cost) can drift even
+     though every verdict stays correct.  The other techniques only
+     delete, shrink or add implied clauses, which measurably reduces
+     propagations and conflicts while leaving statuses and costs
+     identical (see EXPERIMENTS.md for the per-technique ablation). *)
+  if t.inprocess && s.retargets > 0 then Sat.Simplify.inprocess ~scc:false t.simp
 
 (* Constraints carried as assumptions rather than clauses: empty in legacy
    mode (m1/m2 are unit clauses there), so every solve and certificate

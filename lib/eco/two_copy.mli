@@ -31,9 +31,14 @@ val build : ?certify:bool -> Miter.t -> m_i:Aig.lit -> target:string -> t
     certified ({!certify_core}, {!certify_model}); the search itself is
     unchanged. *)
 
-val create_session : ?certify:bool -> Miter.t -> t
+val create_session : ?certify:bool -> ?inprocess:bool -> Miter.t -> t
 (** Encodes the divisor copies and selectors only; {!retarget} must run
-    before the first solve (enforced with [Invalid_argument]). *)
+    before the first solve (enforced with [Invalid_argument]).  With
+    [~inprocess:true], every retarget onto a previously-used database runs
+    one {!Sat.Simplify.inprocess} round — reclaiming the retracted cube
+    group's clauses and compacting the learnt set before the next target's
+    queries; combined with [~certify:true], the derived clauses are
+    recorded and checked alongside the original ones. *)
 
 val retarget : t -> m_i:Aig.lit -> target:string -> unit
 (** Points the session at a new target: imports the two copies of [m_i]

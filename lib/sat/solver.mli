@@ -97,6 +97,58 @@ val probe_lit : t -> Lit.t -> bool
     otherwise.  Raises [Invalid_argument] on a proof-logging solver: the
     asserted unit would have no logged derivation. *)
 
+(** {2 Inprocessing primitives}
+
+    Between-solve database maintenance, driven by {!Simplify.inprocess}.
+    Every mutating primitive first backtracks to decision level 0 — the
+    only safe restart point for rewriting the clause database — and
+    raises [Invalid_argument] on a proof-logging solver, where rewritten
+    clauses would have no logged derivation.  Clauses currently locked as
+    propagation reasons are left untouched. *)
+
+val root_value : t -> Lit.t -> int
+(** Current assignment of a literal: [1] true, [-1] false, [0] unassigned.
+    Only level-0 (permanent) assignments are visible between solves. *)
+
+val iter_clauses : t -> learnt:bool -> (Lit.t array -> unit) -> unit
+(** Iterates the live problem ([learnt:false]) or learnt ([learnt:true])
+    clauses, passing each literal array as a fresh copy. *)
+
+val n_live_learnts : t -> int
+(** Number of learnt clauses currently attached. *)
+
+val filter_map_learnts :
+  t -> (Lit.t array -> [ `Keep | `Drop | `Replace of Lit.t array ]) -> unit
+(** Rewrites the learnt database: each live, unlocked learnt clause is
+    kept, dropped, or replaced.  A replacement must be implied by the
+    clause database without the original clause (e.g. a strengthening);
+    it is normalized at level 0 and attached, with derived units enqueued
+    and propagated. *)
+
+val vivify_learnts :
+  ?max_clauses:int ->
+  ?max_len:int ->
+  t ->
+  on_derived:(Lit.t array -> unit) ->
+  int * int
+(** Clause vivification: re-derives each learnt clause by assuming the
+    negations of its literals at throwaway decision levels, dropping
+    literals the rest of the database already falsifies.  Scans up to
+    [max_clauses] newest learnts of length at most [max_len] (default 32).
+    [on_derived] observes every strictly shrunk clause (for certification
+    taps).  Returns [(clauses shrunk, literals removed)]. *)
+
+val substitute_lits : t -> (int -> Lit.t) -> int
+(** [substitute_lits t map] rewrites every clause (problem and learnt)
+    under the variable-to-representative map: variable [v]'s positive
+    literal becomes [map v], preserving polarity.  [map] must be a
+    self-inverse-free representative map proved equivalent at level 0
+    (e.g. from SCCs of the binary implication graph); [map v = Lit.make v]
+    leaves [v] alone.  All watch lists are rebuilt; clauses satisfied at
+    level 0 (including those of retracted groups) are collected, and the
+    count collected is returned.  With the identity map this is a pure
+    garbage-collection pass. *)
+
 val set_budget : t -> int -> unit
 (** Limits each subsequent [solve] call to the given number of conflicts;
     a non-positive value removes the limit. *)

@@ -304,6 +304,82 @@ let test_group_simplify_freeze () =
   Alcotest.(check bool) "activation dead after retract" true
     (Sat.Simplify.solve ~assumptions:[ gl ] simp = Sat.Solver.Unsat)
 
+let test_inprocess_group_safety () =
+  (* The SCC pass must never pick a frozen activation variable as a
+     substitution target — the retraction unit ~a has to keep its meaning —
+     while substituting other variables TOWARDS it is fine.  Build an
+     equivalence a <-> x between the activation variable and a plain one:
+     the group clause [x] is stored as (~a | x), and (a | ~x) closes the
+     cycle. *)
+  let s = Sat.Solver.create () in
+  let simp = Sat.Simplify.create ~enabled:false s in
+  let x = Sat.Solver.new_var s and y = Sat.Solver.new_var s in
+  let g = Sat.Simplify.new_group simp in
+  let gl = Sat.Solver.group_lit g in
+  Sat.Simplify.add_clause_in_group simp g [ lit x ];
+  Sat.Simplify.add_clause simp [ gl; nlit x ];
+  Sat.Simplify.add_clause simp [ lit x; lit y ];
+  Alcotest.(check bool) "active group forces x" true
+    (Sat.Simplify.solve ~assumptions:[ gl ] simp = Sat.Solver.Sat
+    && Sat.Simplify.value simp (lit x));
+  Sat.Simplify.inprocess simp;
+  let st = Sat.Simplify.inprocess_stats simp in
+  Alcotest.(check bool) "scc substituted the plain variable" true
+    (st.Sat.Simplify.substituted_vars > 0);
+  Alcotest.(check bool) "activation variable never a substitution target" false
+    (Sat.Simplify.is_substituted simp (Sat.Lit.var gl));
+  (* the substituted database still answers through the group *)
+  Alcotest.(check bool) "active group still forces x" true
+    (Sat.Simplify.solve ~assumptions:[ gl ] simp = Sat.Solver.Sat
+    && Sat.Simplify.value simp (lit x));
+  (* retraction after inprocessing: the unit ~a kills the group clause and,
+     through the equivalence, x itself; assuming ~x (which freezes and so
+     reintroduces the substituted variable) must now be satisfiable *)
+  Sat.Simplify.retract_group simp g;
+  Alcotest.(check bool) "retract after inprocess works" true
+    (Sat.Simplify.solve ~assumptions:[ nlit x ] simp = Sat.Solver.Sat
+    && Sat.Simplify.value simp (lit y));
+  let st = Sat.Simplify.inprocess_stats simp in
+  Alcotest.(check bool) "substituted variable reintroduced on freeze" true
+    (st.Sat.Simplify.resubstituted_vars > 0)
+
+let test_inprocess_retract_detaches () =
+  (* Retracting a group after an inprocessing round must still detach every
+     clause of the group, and the next round reclaims them. *)
+  let s = Sat.Solver.create () in
+  let simp = Sat.Simplify.create ~enabled:false s in
+  let x = Sat.Solver.new_var s and y = Sat.Solver.new_var s in
+  let g = Sat.Simplify.new_group simp in
+  Sat.Simplify.add_clause_in_group simp g [ lit x ];
+  Sat.Simplify.add_clause_in_group simp g [ lit y ];
+  Sat.Simplify.add_clause simp [ lit x; lit y ];
+  let gl = Sat.Solver.group_lit g in
+  Alcotest.(check bool) "group active" true
+    (Sat.Simplify.solve ~assumptions:[ gl ] simp = Sat.Solver.Sat);
+  Sat.Simplify.inprocess simp;
+  Sat.Simplify.retract_group simp g;
+  Alcotest.(check bool) "group clauses detached" true
+    (Sat.Simplify.solve ~assumptions:[ nlit x ] simp = Sat.Solver.Sat
+    && Sat.Simplify.value simp (lit y));
+  let before = (Sat.Simplify.inprocess_stats simp).Sat.Simplify.gc_clauses in
+  Sat.Simplify.inprocess simp;
+  let after = (Sat.Simplify.inprocess_stats simp).Sat.Simplify.gc_clauses in
+  Alcotest.(check bool) "retracted group reclaimed by gc" true (after > before)
+
+let test_skipped_passes_counter () =
+  (* A solve with nothing new pending must not silently re-run (or silently
+     skip) the preprocessing pipeline: the skip is counted. *)
+  let s = Sat.Solver.create () in
+  let simp = Sat.Simplify.create ~enabled:true s in
+  ignore (Sat.Solver.new_vars s 3);
+  List.iter (Sat.Simplify.add_clause simp) [ [ lit 0; lit 1 ]; [ nlit 1; lit 2 ] ];
+  ignore (Sat.Simplify.solve simp);
+  Alcotest.(check int) "first solve runs the pipeline" 0
+    (Sat.Simplify.stats simp).Sat.Simplify.skipped_passes;
+  ignore (Sat.Simplify.solve simp);
+  Alcotest.(check int) "second solve skips and counts it" 1
+    (Sat.Simplify.stats simp).Sat.Simplify.skipped_passes
+
 let test_dimacs_parse () =
   let cnf = Sat.Dimacs.parse_string "c comment\np cnf 3 2\n1 -2 0\n2 3 0\n" in
   Alcotest.(check int) "vars" 3 cnf.Sat.Dimacs.num_vars;
@@ -333,6 +409,10 @@ let () =
           Alcotest.test_case "group retraction" `Quick test_group_retract;
           Alcotest.test_case "group independence" `Quick test_group_independence;
           Alcotest.test_case "group freeze under simplify" `Quick test_group_simplify_freeze;
+          Alcotest.test_case "inprocess group safety" `Quick test_inprocess_group_safety;
+          Alcotest.test_case "inprocess then retract detaches" `Quick
+            test_inprocess_retract_detaches;
+          Alcotest.test_case "skipped passes counted" `Quick test_skipped_passes_counter;
           Alcotest.test_case "dimacs parse" `Quick test_dimacs_parse;
         ] );
       ("property", [ random_cross_check; random_core_check; dimacs_roundtrip ]);
