@@ -27,7 +27,16 @@
                    session solver after every retarget (sat.inprocess.*
                    counters)
    --json FILE     write the Table 1 telemetry JSON here
-                   (default BENCH_table1.json) *)
+                   (default BENCH_table1.json)
+
+   serve-stress replays the smoke units against a live `eco_cli serve`
+   (or a self-spawned in-process server) and reports throughput and
+   latency percentiles per pass; see bench/stress.ml.  Extra options:
+   --socket ADDR   target an external server instead of spawning one
+   --repeat N      number of passes over the unit list (default 2:
+                   cold then warm)
+   --no-cache      ask the server to bypass its outcome cache (the
+                   ablation baseline) *)
 
 let fast_units =
   List.filter
@@ -54,6 +63,9 @@ let () =
      experiment name. *)
   let jobs = ref 1 in
   let json = ref "BENCH_table1.json" in
+  let socket = ref None in
+  let repeat = ref 2 in
+  let no_cache = List.mem "--no-cache" args in
   let rec strip = function
     | [] -> []
     | "-j" :: n :: rest -> (
@@ -61,12 +73,18 @@ let () =
       | Some n when n >= 1 -> jobs := n; strip rest
       | _ -> Printf.eprintf "-j expects a positive integer, got %S\n" n; exit 2)
     | "--json" :: path :: rest -> json := path; strip rest
+    | "--socket" :: addr :: rest -> socket := Some addr; strip rest
+    | "--repeat" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some n when n >= 1 -> repeat := n; strip rest
+      | _ -> Printf.eprintf "--repeat expects a positive integer, got %S\n" n; exit 2)
     | a :: rest when String.length a > 2 && String.sub a 0 2 = "-j" -> (
       match int_of_string_opt (String.sub a 2 (String.length a - 2)) with
       | Some n when n >= 1 -> jobs := n; strip rest
       | _ -> Printf.eprintf "bad option %S\n" a; exit 2)
-    | ("--no-simplify" | "--no-verify" | "--certify" | "--reuse-sessions" | "--inprocess") :: rest
-      -> strip rest
+    | ("--no-simplify" | "--no-verify" | "--certify" | "--reuse-sessions" | "--inprocess"
+      | "--no-cache")
+      :: rest -> strip rest
     | a :: rest -> a :: strip rest
   in
   let what = match strip args with [] -> "all" | w :: _ -> w in
@@ -94,12 +112,19 @@ let () =
   | "ablationD" -> Ablations.ablation_d ()
   | "ablationE" -> Ablations.ablation_e ()
   | "micro" -> Micro.run ()
+  | "serve-stress" ->
+    let json = if json = "BENCH_table1.json" then "BENCH_stress.json" else json in
+    let failures =
+      Stress.run ~units:smoke_units ~socket:!socket ~jobs ~repeat:!repeat ~no_cache ~certify
+        ~json ()
+    in
+    if failures > 0 then exit 1
   | "all" ->
     table1 Gen.Suite.all;
     Ablations.run_all ();
     Micro.run ()
   | other ->
     Printf.eprintf
-      "unknown experiment %S (table1 | table1-fast | table1-smoke | ablations | ablationA..D | micro | all)\n"
+      "unknown experiment %S (table1 | table1-fast | table1-smoke | ablations | ablationA..D | micro | serve-stress | all)\n"
       other;
     exit 2

@@ -7,25 +7,90 @@
        writes impl.v, spec.v, weights.txt, targets.txt of a suite unit
 
    eco-patch suite
-       lists the built-in benchmark units *)
+       lists the built-in benchmark units
+
+   eco-patch serve --socket eco.sock -j 4
+       runs the long-lived ECO service (see PROTOCOL.md)
+
+   eco-patch client --socket eco.sock --unit unit7
+       sends one request to a running server
+
+   Exit codes: 0 success, 1 operational failure (no patch, failed
+   certification, failed units, server-side error), 2 usage or input
+   validation error.  Every error is one line on stderr — never an
+   uncaught exception. *)
 
 open Cmdliner
 
+(* [Usage] exits 2 (the invocation or its inputs are invalid); [Fail]
+   exits 1 (the run was valid but did not succeed). *)
+exception Usage of string
+
+exception Fail of string
+
+let usage fmt = Printf.ksprintf (fun s -> raise (Usage s)) fmt
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Fail s)) fmt
+
+let protect f =
+  try f () with
+  | Usage msg ->
+    Printf.eprintf "eco-patch: error: %s\n%!" msg;
+    2
+  | Fail msg ->
+    Printf.eprintf "eco-patch: %s\n%!" msg;
+    1
+  | Failure msg | Sys_error msg ->
+    Printf.eprintf "eco-patch: error: %s\n%!" msg;
+    2
+  | Unix.Unix_error (e, fn, arg) ->
+    Printf.eprintf "eco-patch: error: %s%s: %s\n%!" fn
+      (if arg = "" then "" else " " ^ arg)
+      (Unix.error_message e);
+    1
+  | e ->
+    Printf.eprintf "eco-patch: internal error: %s\n%!" (Printexc.to_string e);
+    1
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+  really_input_string ic (in_channel_length ic)
+
 let method_conv =
-  let parse = function
-    | "baseline" -> Ok Eco.Engine.Baseline
-    | "min_assume" -> Ok Eco.Engine.Min_assume
-    | "exact" -> Ok Eco.Engine.Exact
-    | s -> Error (`Msg (Printf.sprintf "unknown method %S (baseline|min_assume|exact)" s))
-  in
-  let print ppf m =
-    Format.pp_print_string ppf
-      (match m with
-      | Eco.Engine.Baseline -> "baseline"
-      | Eco.Engine.Min_assume -> "min_assume"
-      | Eco.Engine.Exact -> "exact")
-  in
+  let parse s = Result.map_error (fun e -> `Msg e) (Server.Request.method_of_string s) in
+  let print ppf m = Format.pp_print_string ppf (Server.Request.method_name m) in
   Arg.conv (parse, print)
+
+(* The CLI funnels its instance arguments through the same validation
+   layer the server uses ([Server.Request.resolve]), so a bad netlist or
+   unknown unit gets the same one-line diagnostic on both paths. *)
+let source_of_args ~unit_name ~impl_file ~spec_file ~targets ~weights =
+  match (unit_name, impl_file, spec_file) with
+  | Some u, None, None -> Server.Request.Unit_name u
+  | None, Some impl_file, Some spec_file ->
+    if targets = [] then usage "--target required with --impl/--spec";
+    Server.Request.Inline
+      {
+        name = Filename.remove_extension (Filename.basename impl_file);
+        impl = read_file impl_file;
+        spec = read_file spec_file;
+        targets;
+        weights = Option.map read_file weights;
+      }
+  | _ -> usage "pass either --unit or both --impl and --spec"
+
+let resolve source =
+  match Server.Request.resolve source with Ok inst -> inst | Error msg -> usage "%s" msg
+
+let print_certification () =
+  let snap = Telemetry.snapshot () in
+  let get n = match List.assoc_opt n snap with Some v -> v | None -> 0 in
+  Format.printf "certification: %d checks (%d proof steps, %d rup), %d failed@."
+    (get "cert.checked") (get "cert.proof_steps") (get "cert.rup_fallbacks") (get "cert.failed");
+  get "cert.failed"
+
+(* {2 solve} *)
 
 let solve_cmd =
   let impl_file =
@@ -47,7 +112,7 @@ let solve_cmd =
     Arg.(value & opt method_conv Eco.Engine.Min_assume & info [ "method"; "m" ] ~docv:"METHOD" ~doc:"Support computation: baseline, min_assume (default) or exact.")
   in
   let structural =
-    Arg.(value & flag & info [ "structural" ] ~doc:"Skip the SAT pipeline; compute a structural patch directly.")
+    Arg.(value & flag & info [ "structural" ] ~doc:"Skip the SAT pipeline; compute a structural patch directly (disables 2QBF feasibility and trims the verification budget, as $(b,batch) does for structural units).")
   in
   let out =
     Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Write the patched implementation netlist here.")
@@ -75,71 +140,54 @@ let solve_cmd =
   in
   let run impl_file spec_file targets unit_name weights method_ structural out budget stats trace
       no_simplify certify reuse_sessions inprocess =
-    try
-      if no_simplify then Sat.Simplify.enabled := false;
-      let instance =
-        match (unit_name, impl_file, spec_file) with
-        | Some u, None, None -> (
-          match Gen.Suite.find u with
-          | exception Not_found -> failwith (Printf.sprintf "unknown unit %S" u)
-          | spec -> Gen.Suite.instantiate spec)
-        | None, Some impl_file, Some spec_file ->
-          if targets = [] then failwith "--target required with --impl/--spec";
-          Eco.Instance.load ~impl_file ~spec_file ~targets ~weight_file:weights ()
-        | _ -> failwith "pass either --unit or both --impl and --spec"
-      in
-      let config = Eco.Engine.config_of_method method_ in
-      let config =
-        { config with Eco.Engine.force_structural = structural; certify; reuse_sessions; inprocess }
-      in
-      let config =
-        if budget > 0 then
-          { config with Eco.Engine.sat_budget = budget; feasibility_budget = budget }
-        else config
-      in
-      (match trace with Some path -> Telemetry.sink_to_file path | None -> ());
-      let outcome = Eco.Engine.solve ~config instance in
-      Format.printf "%a@." Eco.Engine.pp_outcome outcome;
-      List.iter (fun p -> Format.printf "  %a@." Eco.Patch.pp p) outcome.Eco.Engine.patches;
-      (match (outcome.Eco.Engine.status, out) with
-      | Eco.Engine.Solved, Some path ->
-        let patched = Eco.Verify.patched_netlist instance outcome.Eco.Engine.patches in
-        Netlist.Verilog.write_file path ~name:"patched" patched;
-        Format.printf "patched netlist written to %s@." path
-      | _ -> ());
-      if trace <> None then begin
-        (* Close with a summary line so a trace is self-contained. *)
-        Telemetry.event "summary"
-          ~fields:
-            (List.map (fun (n, v) -> (n, Telemetry.Value.Int v)) (Telemetry.snapshot ()));
-        Telemetry.close_sink ()
-      end;
-      if stats then Format.printf "%a@." Telemetry.pp_summary ();
-      let cert_failed =
-        if certify then begin
-          let snap = Telemetry.snapshot () in
-          let get n = match List.assoc_opt n snap with Some v -> v | None -> 0 in
-          Format.printf "certification: %d checks (%d proof steps, %d rup), %d failed@."
-            (get "cert.checked") (get "cert.proof_steps") (get "cert.rup_fallbacks")
-            (get "cert.failed");
-          get "cert.failed"
-        end
-        else 0
-      in
-      if cert_failed > 0 then Error (`Msg (Printf.sprintf "%d certification check(s) failed" cert_failed))
-      else
-        match outcome.Eco.Engine.status with
-        | Eco.Engine.Solved -> Ok ()
-        | _ -> Error (`Msg "no patch")
-    with Failure msg | Sys_error msg -> Error (`Msg msg)
+    protect @@ fun () ->
+    if no_simplify then Sat.Simplify.enabled := false;
+    if budget < 0 then usage "--budget expects a non-negative conflict count";
+    let instance =
+      resolve (source_of_args ~unit_name ~impl_file ~spec_file ~targets ~weights)
+    in
+    let options =
+      {
+        Server.Request.default_options with
+        Server.Request.method_;
+        certify;
+        reuse_sessions;
+        inprocess;
+        structural;
+        budget;
+      }
+    in
+    let config = Server.Request.config_of_options options in
+    (match trace with Some path -> Telemetry.sink_to_file path | None -> ());
+    let outcome = Eco.Engine.solve ~config instance in
+    Format.printf "%a@." Eco.Engine.pp_outcome outcome;
+    List.iter (fun p -> Format.printf "  %a@." Eco.Patch.pp p) outcome.Eco.Engine.patches;
+    (match (outcome.Eco.Engine.status, out) with
+    | Eco.Engine.Solved, Some path ->
+      let patched = Eco.Verify.patched_netlist instance outcome.Eco.Engine.patches in
+      Netlist.Verilog.write_file path ~name:"patched" patched;
+      Format.printf "patched netlist written to %s@." path
+    | _ -> ());
+    if trace <> None then begin
+      (* Close with a summary line so a trace is self-contained. *)
+      Telemetry.event "summary"
+        ~fields:(List.map (fun (n, v) -> (n, Telemetry.Value.Int v)) (Telemetry.snapshot ()));
+      Telemetry.close_sink ()
+    end;
+    if stats then Format.printf "%a@." Telemetry.pp_summary ();
+    let cert_failed = if certify then print_certification () else 0 in
+    if cert_failed > 0 then fail "%d certification check(s) failed" cert_failed;
+    (match outcome.Eco.Engine.status with Eco.Engine.Solved -> () | _ -> fail "no patch");
+    0
   in
   let term =
     Term.(
-      term_result
-        (const run $ impl_file $ spec_file $ targets $ unit_name $ weights $ method_ $ structural
-       $ out $ budget $ stats $ trace $ no_simplify $ certify $ reuse_sessions $ inprocess))
+      const run $ impl_file $ spec_file $ targets $ unit_name $ weights $ method_ $ structural
+      $ out $ budget $ stats $ trace $ no_simplify $ certify $ reuse_sessions $ inprocess)
   in
   Cmd.v (Cmd.info "solve" ~doc:"Compute ECO patch functions for the given targets.") term
+
+(* {2 gen} *)
 
 let gen_cmd =
   let unit_name =
@@ -147,8 +195,9 @@ let gen_cmd =
   in
   let dir = Arg.(value & opt string "." & info [ "dir"; "d" ] ~docv:"DIR" ~doc:"Output directory.") in
   let run unit_name dir =
+    protect @@ fun () ->
     match Gen.Suite.find unit_name with
-    | exception Not_found -> Error (`Msg (Printf.sprintf "unknown unit %S" unit_name))
+    | exception Not_found -> usage "unknown unit %S" unit_name
     | spec ->
       let inst = Gen.Suite.instantiate spec in
       if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
@@ -160,11 +209,13 @@ let gen_cmd =
       List.iter (fun t -> output_string oc (t ^ "\n")) inst.Eco.Instance.targets;
       close_out oc;
       Format.printf "%s: %a@.files written under %s@." unit_name Eco.Instance.pp inst dir;
-      Ok ()
+      0
   in
   Cmd.v
     (Cmd.info "gen" ~doc:"Materialize a built-in benchmark unit as Verilog + weight files.")
-    Term.(term_result (const run $ unit_name $ dir))
+    Term.(const run $ unit_name $ dir)
+
+(* {2 batch} *)
 
 let batch_cmd =
   let units =
@@ -195,88 +246,79 @@ let batch_cmd =
     Arg.(value & flag & info [ "inprocess" ] ~doc:"With --reuse-sessions: inprocess each unit's session solver after every retarget (sat.inprocess.* counters).")
   in
   let run units jobs method_ no_verify no_simplify stats certify reuse_sessions inprocess =
-    try
-      if no_simplify then Sat.Simplify.enabled := false;
-      if jobs < 1 then failwith "-j expects a positive worker count";
-      let specs =
-        match units with
-        | [] -> Gen.Suite.all
-        | names ->
-          List.map
-            (fun u ->
-              match Gen.Suite.find u with
-              | exception Not_found -> failwith (Printf.sprintf "unknown unit %S" u)
-              | spec -> spec)
-            names
-      in
-      let config_for (spec : Gen.Suite.unit_spec) =
-        let c = Eco.Engine.config_of_method method_ in
-        let c = { c with Eco.Engine.certify; reuse_sessions; inprocess } in
-        let c = if no_verify then { c with Eco.Engine.verify = false } else c in
-        if spec.Gen.Suite.structural then
-          { c with Eco.Engine.force_structural = true; use_qbf = false; verify_budget = 10_000 }
-        else c
-      in
-      let solve_unit spec =
-        let inst = Gen.Suite.instantiate spec in
-        Eco.Engine.solve ~config:(config_for spec) inst
-      in
-      let outcomes = Pool.map ~jobs solve_unit specs in
-      Format.printf "%-8s %-12s %7s %7s %8s %s@." "unit" "status" "cost" "gates" "time(s)"
-        "verified";
-      let failures = ref 0 in
-      List.iter2
-        (fun (spec : Gen.Suite.unit_spec) result ->
-          match result with
-          | Ok (o : Eco.Engine.outcome) ->
-            let status =
-              match o.Eco.Engine.status with
-              | Eco.Engine.Solved -> "solved"
-              | Eco.Engine.Infeasible -> "infeasible"
-              | Eco.Engine.Failed _ ->
-                incr failures;
-                "failed"
-            in
-            (* A solved unit whose patched netlist failed verification is a
-               failure, not a quiet "NO" in the table. *)
-            if o.Eco.Engine.verified = Some false then incr failures;
-            Format.printf "%-8s %-12s %7d %7d %8.2f %s@." spec.Gen.Suite.u_name status
-              o.Eco.Engine.cost o.Eco.Engine.gates o.Eco.Engine.time
-              (match o.Eco.Engine.verified with
-              | Some true -> "yes"
-              | Some false -> "NO"
-              | None -> "-")
-          | Error e ->
-            (* Per-job exception isolation: a crashing unit is one Failed
-               row, not the end of the batch. *)
-            incr failures;
-            Format.printf "%-8s %-12s %7s %7s %8s %s@." spec.Gen.Suite.u_name
-              ("failed: " ^ Printexc.to_string e) "-" "-" "-" "-")
-        specs outcomes;
-      if stats then Format.printf "%a@." Telemetry.pp_summary ();
-      let cert_failed =
-        if certify then begin
-          let snap = Telemetry.snapshot () in
-          let get n = match List.assoc_opt n snap with Some v -> v | None -> 0 in
-          Format.printf "certification: %d checks (%d proof steps, %d rup), %d failed@."
-            (get "cert.checked") (get "cert.proof_steps") (get "cert.rup_fallbacks")
-            (get "cert.failed");
-          get "cert.failed"
-        end
-        else 0
-      in
-      if !failures = 0 && cert_failed = 0 then Ok ()
-      else if cert_failed > 0 then
-        Error (`Msg (Printf.sprintf "%d certification check(s) failed" cert_failed))
-      else Error (`Msg (Printf.sprintf "%d unit(s) failed" !failures))
-    with Failure msg | Sys_error msg -> Error (`Msg msg)
+    protect @@ fun () ->
+    if no_simplify then Sat.Simplify.enabled := false;
+    if jobs < 1 then usage "-j expects a positive worker count";
+    let specs =
+      match units with
+      | [] -> Gen.Suite.all
+      | names ->
+        List.map
+          (fun u ->
+            match Gen.Suite.find u with
+            | exception Not_found -> usage "unknown unit %S" u
+            | spec -> spec)
+          names
+    in
+    let config_for (spec : Gen.Suite.unit_spec) =
+      let c = Eco.Engine.config_of_method method_ in
+      let c = { c with Eco.Engine.certify; reuse_sessions; inprocess } in
+      let c = if no_verify then { c with Eco.Engine.verify = false } else c in
+      if spec.Gen.Suite.structural then
+        { c with Eco.Engine.force_structural = true; use_qbf = false; verify_budget = 10_000 }
+      else c
+    in
+    let solve_unit spec =
+      let inst = Gen.Suite.instantiate spec in
+      Eco.Engine.solve ~config:(config_for spec) inst
+    in
+    let outcomes = Pool.map ~jobs solve_unit specs in
+    Format.printf "%-8s %-12s %7s %7s %8s %s@." "unit" "status" "cost" "gates" "time(s)"
+      "verified";
+    let failures = ref 0 in
+    List.iter2
+      (fun (spec : Gen.Suite.unit_spec) result ->
+        match result with
+        | Ok (o : Eco.Engine.outcome) ->
+          let status =
+            match o.Eco.Engine.status with
+            | Eco.Engine.Solved -> "solved"
+            | Eco.Engine.Infeasible -> "infeasible"
+            | Eco.Engine.Failed _ ->
+              incr failures;
+              "failed"
+          in
+          (* A solved unit whose patched netlist failed verification is a
+             failure, not a quiet "NO" in the table. *)
+          if o.Eco.Engine.verified = Some false then incr failures;
+          Format.printf "%-8s %-12s %7d %7d %8.2f %s@." spec.Gen.Suite.u_name status
+            o.Eco.Engine.cost o.Eco.Engine.gates o.Eco.Engine.time
+            (match o.Eco.Engine.verified with
+            | Some true -> "yes"
+            | Some false -> "NO"
+            | None -> "-")
+        | Error e ->
+          (* Per-job exception isolation: a crashing unit is one Failed
+             row, not the end of the batch. *)
+          incr failures;
+          Format.printf "%-8s %-12s %7s %7s %8s %s@." spec.Gen.Suite.u_name
+            ("failed: " ^ Printexc.to_string e) "-" "-" "-" "-")
+      specs outcomes;
+    if stats then Format.printf "%a@." Telemetry.pp_summary ();
+    let cert_failed = if certify then print_certification () else 0 in
+    if cert_failed > 0 then fail "%d certification check(s) failed" cert_failed;
+    if !failures > 0 then fail "%d unit(s) failed" !failures;
+    0
   in
   Cmd.v
     (Cmd.info "batch" ~doc:"Solve a list of benchmark units, optionally in parallel over worker domains.")
-    Term.(term_result (const run $ units $ jobs $ method_ $ no_verify $ no_simplify $ stats $ certify $ reuse_sessions $ inprocess))
+    Term.(const run $ units $ jobs $ method_ $ no_verify $ no_simplify $ stats $ certify $ reuse_sessions $ inprocess)
+
+(* {2 suite} *)
 
 let suite_cmd =
   let run () =
+    protect @@ fun () ->
     Format.printf "%-8s %-14s %-8s %-5s %-6s %s@." "unit" "family" "targets" "dist" "struct" "gates(impl)";
     List.iter
       (fun (s : Gen.Suite.unit_spec) ->
@@ -299,11 +341,206 @@ let suite_cmd =
           (Netlist.Weights.distribution_name s.Gen.Suite.dist)
           s.Gen.Suite.structural (Netlist.num_gates impl))
       Gen.Suite.all;
-    Ok ()
+    0
+  in
+  Cmd.v (Cmd.info "suite" ~doc:"List the built-in benchmark units.") Term.(const run $ const ())
+
+(* {2 serve} *)
+
+let socket_arg =
+  Arg.(value & opt string "eco.sock" & info [ "socket"; "s" ] ~docv:"ADDR" ~doc:"Server address: $(b,unix:PATH), $(b,tcp:HOST:PORT), or a bare Unix-socket path.")
+
+let parse_address s =
+  match Server.Protocol.parse_address s with Ok a -> a | Error e -> usage "%s" e
+
+let serve_cmd =
+  let jobs =
+    Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Worker domains executing solve/batch jobs concurrently.")
+  in
+  let no_cache =
+    Arg.(value & flag & info [ "no-cache" ] ~doc:"Disable the cross-request outcome cache (the cone cache stays on unless $(b,--no-cone-cache)).")
+  in
+  let no_cone_cache =
+    Arg.(value & flag & info [ "no-cone-cache" ] ~doc:"Do not install the cross-request CEC verdict memo.")
+  in
+  let cache_entries =
+    Arg.(value & opt int 256 & info [ "cache-entries" ] ~docv:"N" ~doc:"Outcome-cache entry cap (the cone cache gets 4x).")
+  in
+  let cache_mb =
+    Arg.(value & opt int 64 & info [ "cache-mb" ] ~docv:"MIB" ~doc:"Byte cap per cache in MiB — the idle-memory bound of a long-lived server.")
+  in
+  let guard_period =
+    Arg.(value & opt int 16 & info [ "guard-period" ] ~docv:"N" ~doc:"Re-certify every $(docv)-th outcome-cache hit against a fresh certified solve (0 disables the guard).")
+  in
+  let certify_all =
+    Arg.(value & flag & info [ "certify-all" ] ~doc:"Force $(b,--certify) semantics on every job, whatever the request asked for.")
+  in
+  let max_frame_mb =
+    Arg.(value & opt int 8 & info [ "max-frame-mb" ] ~docv:"MIB" ~doc:"Protocol frame cap in MiB; oversized frames are rejected and the connection closed.")
+  in
+  let run socket jobs no_cache no_cone_cache cache_entries cache_mb guard_period certify_all
+      max_frame_mb =
+    protect @@ fun () ->
+    if jobs < 1 then usage "-j expects a positive worker count";
+    if cache_entries < 1 then usage "--cache-entries expects a positive count";
+    if cache_mb < 1 then usage "--cache-mb expects a positive size";
+    if guard_period < 0 then usage "--guard-period expects a non-negative count";
+    if max_frame_mb < 1 then usage "--max-frame-mb expects a positive size";
+    let address = parse_address socket in
+    let config =
+      {
+        Server.jobs;
+        cache = not no_cache;
+        cone_cache = not no_cone_cache;
+        cache_entries;
+        cache_bytes = cache_mb * 1024 * 1024;
+        guard_period;
+        certify_all;
+        max_frame = max_frame_mb * 1024 * 1024;
+      }
+    in
+    let t = Server.create config in
+    (* Clients can vanish mid-write; EPIPE must surface as an error
+       return, not a signal. *)
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    let drain _ = Server.stop t in
+    Sys.set_signal Sys.sigint (Sys.Signal_handle drain);
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle drain);
+    Format.printf "eco-patch: serving on %s (%d worker%s)@."
+      (Server.Protocol.address_string address)
+      jobs
+      (if jobs = 1 then "" else "s");
+    Server.serve t address;
+    Format.printf "eco-patch: drained, bye@.";
+    0
   in
   Cmd.v
-    (Cmd.info "suite" ~doc:"List the built-in benchmark units.")
-    Term.(term_result (const run $ const ()))
+    (Cmd.info "serve"
+       ~doc:"Run the long-lived ECO service: solve/batch jobs over a length-prefixed JSON protocol (PROTOCOL.md) with a cross-request cone cache.")
+    Term.(
+      const run $ socket_arg $ jobs $ no_cache $ no_cone_cache $ cache_entries $ cache_mb
+      $ guard_period $ certify_all $ max_frame_mb)
+
+(* {2 client} *)
+
+let client_cmd =
+  let units =
+    Arg.(value & pos_all string [] & info [] ~docv:"UNIT" ~doc:"Two or more positional units form one $(b,batch) request.")
+  in
+  let unit_name =
+    Arg.(value & opt (some string) None & info [ "unit"; "u" ] ~docv:"UNIT" ~doc:"Solve one built-in benchmark unit.")
+  in
+  let impl_file =
+    Arg.(value & opt (some file) None & info [ "impl" ] ~docv:"FILE" ~doc:"Implementation netlist to send inline.")
+  in
+  let spec_file =
+    Arg.(value & opt (some file) None & info [ "spec" ] ~docv:"FILE" ~doc:"Specification netlist to send inline.")
+  in
+  let targets =
+    Arg.(value & opt_all string [] & info [ "target"; "t" ] ~docv:"SIGNAL" ~doc:"Target signal (repeatable, with $(b,--impl)/$(b,--spec)).")
+  in
+  let weights =
+    Arg.(value & opt (some file) None & info [ "weights" ] ~docv:"FILE" ~doc:"Signal weight file to send inline.")
+  in
+  let method_ =
+    Arg.(value & opt method_conv Eco.Engine.Min_assume & info [ "method"; "m" ] ~docv:"METHOD" ~doc:"Support computation: baseline, min_assume (default) or exact.")
+  in
+  let certify =
+    Arg.(value & flag & info [ "certify" ] ~doc:"Ask the server to certify every final SAT/UNSAT verdict of the job.")
+  in
+  let structural =
+    Arg.(value & flag & info [ "structural" ] ~doc:"Ask for the structural path (as $(b,batch) uses for structural units).")
+  in
+  let budget =
+    Arg.(value & opt int 0 & info [ "budget" ] ~docv:"CONFLICTS" ~doc:"Conflict budget per SAT call (0 = library default).")
+  in
+  let no_cache =
+    Arg.(value & flag & info [ "no-cache" ] ~doc:"Ask the server to bypass its outcome cache for this job.")
+  in
+  let deadline_ms =
+    Arg.(value & opt (some int) None & info [ "deadline-ms" ] ~docv:"MS" ~doc:"Fail the request with $(b,deadline_expired) if its job cannot start within $(docv) milliseconds.")
+  in
+  let stats_op =
+    Arg.(value & flag & info [ "stats" ] ~doc:"Send a $(b,stats) request instead of a solve.")
+  in
+  let shutdown_op =
+    Arg.(value & flag & info [ "shutdown" ] ~doc:"Ask the server to drain in-flight jobs and exit.")
+  in
+  let run socket units unit_name impl_file spec_file targets weights method_ certify structural
+      budget no_cache deadline_ms stats_op shutdown_op =
+    protect @@ fun () ->
+    if budget < 0 then usage "--budget expects a non-negative conflict count";
+    let address = parse_address socket in
+    let options =
+      {
+        Server.Request.default_options with
+        Server.Request.method_;
+        certify;
+        structural;
+        budget;
+        no_cache;
+      }
+    in
+    let request =
+      if stats_op then Server.Request.Stats
+      else if shutdown_op then Server.Request.Shutdown
+      else
+        match units with
+        | [] ->
+          Server.Request.Solve
+            {
+              Server.Request.source =
+                source_of_args ~unit_name ~impl_file ~spec_file ~targets ~weights;
+              options;
+            }
+        | us ->
+          Server.Request.Batch
+            (List.map (fun u -> { Server.Request.source = Server.Request.Unit_name u; options }) us)
+    in
+    let c = Server.Client.connect address in
+    Fun.protect ~finally:(fun () -> Server.Client.close c) @@ fun () ->
+    let resp = Server.Client.request c ?deadline_ms request in
+    print_endline (Server.Jsonx.to_string resp);
+    if Server.Client.is_ok resp then begin
+      let member k j = Option.bind j (Server.Jsonx.member k) in
+      let solved row =
+        member "status" row |> Fun.flip Option.bind Server.Jsonx.to_str = Some "solved"
+      in
+      match request with
+      | Server.Request.Solve _ ->
+        if solved (member "result" (Some resp)) then 0 else fail "no patch"
+      | Server.Request.Batch _ ->
+        let rows =
+          member "result" (Some resp) |> member "rows"
+          |> Fun.flip Option.bind Server.Jsonx.to_list
+          |> Option.value ~default:[]
+        in
+        let bad =
+          List.length
+            (List.filter (fun r -> not (solved (member "row" (Some r)))) rows)
+        in
+        if bad > 0 then fail "%d job(s) failed" bad;
+        0
+      | Server.Request.Stats | Server.Request.Shutdown -> 0
+    end
+    else begin
+      match Server.Client.error_of resp with
+      | Some (code, msg) ->
+        Printf.eprintf "eco-patch: server error %s: %s\n%!" code msg;
+        (match code with
+        | "bad_request" | "bad_json" | "bad_version" | "unknown_op" | "bad_frame" -> 2
+        | _ -> 1)
+      | None -> fail "malformed server response"
+    end
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Send one request (solve, batch, stats or shutdown) to a running $(b,serve) instance and print the JSON response.")
+    Term.(
+      const run $ socket_arg $ units $ unit_name $ impl_file $ spec_file $ targets $ weights
+      $ method_ $ certify $ structural $ budget $ no_cache $ deadline_ms $ stats_op $ shutdown_op)
+
+(* {2 main} *)
 
 let () =
   let man =
@@ -322,6 +559,28 @@ let () =
           $(i,FILE) while solving; the last event is a counter summary.";
       `P "$(b,--no-simplify): disable SatELite-style CNF preprocessing in every SAT \
           call (escape hatch for debugging and A/B counter comparisons).";
+      `S "SERVER AND CLIENT";
+      `P "$(b,serve) runs a long-lived daemon speaking the length-prefixed JSON \
+          protocol documented in PROTOCOL.md over a Unix-domain socket or TCP \
+          ($(b,--socket) $(i,unix:PATH)|$(i,tcp:HOST:PORT)).  Jobs are scheduled on \
+          $(b,-j) worker domains; solve outcomes and CEC verdicts are cached across \
+          requests, keyed by structurally-hashed AIG cone signatures, with a sampled \
+          correctness guard re-certifying every $(b,--guard-period)-th cache hit.";
+      `P "$(b,client) sends a single request to a running server and prints the raw \
+          JSON response: $(b,--unit)/$(b,--impl)+$(b,--spec) for one solve, two or \
+          more positional units for a batch, $(b,--stats) or $(b,--shutdown) for the \
+          control operations.";
+      `S Manpage.s_exit_status;
+      `P "$(b,0): success.";
+      `P "$(b,1): operational failure — no patch exists, certification or \
+          verification failed, a batch unit failed, or the server answered with a \
+          non-validation error ($(b,deadline_expired), $(b,shutting_down), \
+          $(b,internal)).";
+      `P "$(b,2): usage or validation error — unknown flag or subcommand, \
+          unreadable or malformed input, unknown unit, or a server-side validation \
+          error ($(b,bad_request), $(b,bad_json), $(b,bad_version), \
+          $(b,unknown_op), $(b,bad_frame)).  Always a one-line diagnostic on \
+          stderr, never an exception trace.";
       `S Manpage.s_examples;
       `P "Solve a benchmark unit with telemetry:";
       `Pre "  eco-patch solve --unit unit7 --stats";
@@ -329,6 +588,10 @@ let () =
       `Pre "  eco-patch solve --impl impl.v --spec spec.v -t w1 -o patched.v";
       `P "Solve several benchmark units concurrently on four worker domains:";
       `Pre "  eco-patch batch -j 4 unit1 unit2 unit3 unit4";
+      `P "Run the ECO service on a Unix socket and solve against it:";
+      `Pre "  eco-patch serve --socket /tmp/eco.sock -j 2 &";
+      `Pre "  eco-patch client --socket /tmp/eco.sock --unit unit7 --certify";
+      `Pre "  eco-patch client --socket /tmp/eco.sock --shutdown";
     ]
   in
   let info =
@@ -339,4 +602,14 @@ let () =
   (* A bare `eco-patch` invocation prints the manual and exits 0 instead of
      taking the usage-error path. *)
   let default = Term.(ret (const (`Help (`Auto, None)))) in
-  exit (Cmd.eval (Cmd.group ~default info [ solve_cmd; gen_cmd; suite_cmd; batch_cmd ]))
+  let group =
+    Cmd.group ~default info
+      [ solve_cmd; gen_cmd; suite_cmd; batch_cmd; serve_cmd; client_cmd ]
+  in
+  (* All run functions return their exit code and report errors as
+     one-line diagnostics; cmdliner's own parse errors map to 2. *)
+  exit
+    (match Cmd.eval_value group with
+    | Ok (`Ok code) -> code
+    | Ok (`Help | `Version) -> 0
+    | Error (`Parse | `Term | `Exn) -> 2)

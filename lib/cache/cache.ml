@@ -1,0 +1,198 @@
+type key = { sig64 : int64; canon : string }
+
+(* Intrusive doubly-linked LRU list: [head] is most recently used, [tail]
+   the eviction end.  Nodes live in both the list and the signature
+   index, a bucket per 64-bit signature holding the (rare) canonically
+   distinct keys that share it. *)
+type 'v node = {
+  nkey : key;
+  mutable value : 'v;
+  mutable bytes : int;
+  mutable prev : 'v node option;  (* towards head *)
+  mutable next : 'v node option;  (* towards tail *)
+}
+
+type 'v t = {
+  mutex : Mutex.t;
+  index : (int64, 'v node list ref) Hashtbl.t;
+  mutable head : 'v node option;
+  mutable tail : 'v node option;
+  mutable entries : int;
+  mutable total_bytes : int;
+  max_entries : int;
+  max_bytes : int;
+  guard_period : int;
+  mutable hit_tick : int;  (* hits since the last guarded one *)
+  c_hits : Telemetry.Counter.t;
+  c_misses : Telemetry.Counter.t;
+  c_collisions : Telemetry.Counter.t;
+  c_insertions : Telemetry.Counter.t;
+  c_evictions : Telemetry.Counter.t;
+  c_guard_checks : Telemetry.Counter.t;
+  c_guard_failed : Telemetry.Counter.t;
+}
+
+type 'v lookup = Miss | Hit of 'v | Hit_guard of 'v
+
+let create ?(max_entries = 256) ?(max_bytes = 64 * 1024 * 1024) ?(guard_period = 0) ~name () =
+  if max_entries < 1 then invalid_arg "Cache.create: max_entries < 1";
+  if max_bytes < 1 then invalid_arg "Cache.create: max_bytes < 1";
+  if guard_period < 0 then invalid_arg "Cache.create: negative guard_period";
+  let c suffix = Telemetry.Counter.make (name ^ "." ^ suffix) in
+  {
+    mutex = Mutex.create ();
+    index = Hashtbl.create 64;
+    head = None;
+    tail = None;
+    entries = 0;
+    total_bytes = 0;
+    max_entries;
+    max_bytes;
+    guard_period;
+    hit_tick = 0;
+    c_hits = c "hits";
+    c_misses = c "misses";
+    c_collisions = c "collisions";
+    c_insertions = c "insertions";
+    c_evictions = c "evictions";
+    c_guard_checks = c "guard_checks";
+    c_guard_failed = c "guard_failed";
+  }
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+(* {2 List surgery — caller holds the mutex} *)
+
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.prev <- None;
+  n.next <- t.head;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let touch t n =
+  if t.head != Some n then begin
+    unlink t n;
+    push_front t n
+  end
+
+let accounted_bytes key ~bytes = String.length key.canon + max 0 bytes
+
+let drop_from_index t n =
+  match Hashtbl.find_opt t.index n.nkey.sig64 with
+  | None -> ()
+  | Some bucket ->
+    bucket := List.filter (fun m -> m != n) !bucket;
+    if !bucket = [] then Hashtbl.remove t.index n.nkey.sig64
+
+let evict_one t =
+  match t.tail with
+  | None -> ()
+  | Some n ->
+    unlink t n;
+    drop_from_index t n;
+    t.entries <- t.entries - 1;
+    t.total_bytes <- t.total_bytes - n.bytes;
+    Telemetry.Counter.incr t.c_evictions
+
+let rec enforce_caps t =
+  if (t.entries > t.max_entries || t.total_bytes > t.max_bytes) && t.tail <> None then begin
+    evict_one t;
+    enforce_caps t
+  end
+
+let find_node t key =
+  match Hashtbl.find_opt t.index key.sig64 with
+  | None -> None
+  | Some bucket -> (
+    match List.find_opt (fun n -> String.equal n.nkey.canon key.canon) !bucket with
+    | Some n -> Some n
+    | None ->
+      (* Signature matched, canonical key did not: a true 64-bit
+         collision.  Report it so the caller's fallback (full CEC /
+         fresh solve) is visible in telemetry. *)
+      Telemetry.Counter.incr t.c_collisions;
+      None)
+
+let find t key =
+  with_lock t @@ fun () ->
+  match find_node t key with
+  | None ->
+    Telemetry.Counter.incr t.c_misses;
+    Miss
+  | Some n ->
+    touch t n;
+    Telemetry.Counter.incr t.c_hits;
+    if t.guard_period > 0 then begin
+      t.hit_tick <- t.hit_tick + 1;
+      if t.hit_tick >= t.guard_period then begin
+        t.hit_tick <- 0;
+        Telemetry.Counter.incr t.c_guard_checks;
+        Hit_guard n.value
+      end
+      else Hit n.value
+    end
+    else Hit n.value
+
+let add t key ~bytes value =
+  let total = accounted_bytes key ~bytes in
+  with_lock t @@ fun () ->
+  match find_node t key with
+  | Some n ->
+    t.total_bytes <- t.total_bytes - n.bytes + total;
+    n.value <- value;
+    n.bytes <- total;
+    touch t n;
+    enforce_caps t
+  | None ->
+    if total <= t.max_bytes then begin
+      let n = { nkey = key; value; bytes = total; prev = None; next = None } in
+      push_front t n;
+      let bucket =
+        match Hashtbl.find_opt t.index key.sig64 with
+        | Some b -> b
+        | None ->
+          let b = ref [] in
+          Hashtbl.add t.index key.sig64 b;
+          b
+      in
+      bucket := n :: !bucket;
+      t.entries <- t.entries + 1;
+      t.total_bytes <- t.total_bytes + total;
+      Telemetry.Counter.incr t.c_insertions;
+      enforce_caps t
+    end
+
+let remove t key =
+  with_lock t @@ fun () ->
+  match Hashtbl.find_opt t.index key.sig64 with
+  | None -> ()
+  | Some bucket -> (
+    match List.find_opt (fun n -> String.equal n.nkey.canon key.canon) !bucket with
+    | None -> ()
+    | Some n ->
+      unlink t n;
+      drop_from_index t n;
+      t.entries <- t.entries - 1;
+      t.total_bytes <- t.total_bytes - n.bytes)
+
+let guard_failed t = Telemetry.Counter.incr t.c_guard_failed
+
+type stats = { entries : int; bytes : int }
+
+let stats t = with_lock t @@ fun () -> { entries = t.entries; bytes = t.total_bytes }
+
+let clear t =
+  with_lock t @@ fun () ->
+  Hashtbl.reset t.index;
+  t.head <- None;
+  t.tail <- None;
+  t.entries <- 0;
+  t.total_bytes <- 0

@@ -1,0 +1,83 @@
+(** Bounded, collision-checked LRU cache for cross-request reuse.
+
+    The server ({!module:Server} in [lib/server]) keeps two instances of
+    this cache alive across requests: a memo of full solve outcomes and a
+    memo of CEC verdicts, both keyed by structurally-hashed AIG cone
+    signatures.  The cache itself is generic: keys pair a cheap 64-bit
+    {e signature} (derived from structural hashing plus 64-bit parallel
+    simulation — see [Server.Fingerprint]) with the full {e canonical}
+    key material.  A lookup first indexes by signature, then compares the
+    canonical string byte for byte, so a signature collision can never
+    return a wrong entry — it is counted and reported as a miss, and the
+    caller falls back to the full computation (e.g. a complete CEC).
+
+    Capacity is bounded two ways: an entry-count cap and a byte cap over
+    the {e accounted} sizes of the resident entries (canonical key +
+    caller-estimated value size).  Either bound evicts from the
+    least-recently-used end.  The byte cap is the server's idle-cache
+    memory cap: a long-lived daemon cannot grow its cache without bound.
+
+    A cached verdict is only as trustworthy as the process that stored
+    it, so the cache supports a {e sampled correctness guard}: every
+    [guard_period]-th hit is returned as {!Hit_guard}, telling the caller
+    to recompute the value independently (the server re-solves with
+    certification via [lib/cert]) and compare.  A mismatch is a poisoned
+    entry: the caller reports it with {!guard_failed} and overwrites or
+    {!remove}s the entry.
+
+    All operations are serialised on an internal mutex and are safe to
+    call from concurrent pool workers.  Telemetry: every instance books
+    its traffic into counters prefixed by its [name]
+    ([<name>.hits], [.misses], [.collisions], [.insertions],
+    [.evictions], [.guard_checks], [.guard_failed]). *)
+
+type key = {
+  sig64 : int64;  (** cheap structural signature — the index *)
+  canon : string;  (** full canonical key material — the collision check *)
+}
+
+type 'v t
+
+val create :
+  ?max_entries:int -> ?max_bytes:int -> ?guard_period:int -> name:string -> unit -> 'v t
+(** [create ~name ()] makes an empty cache booking telemetry under
+    [<name>.*].  [max_entries] (default 256) and [max_bytes] (default
+    64 MiB) bound the resident set; [guard_period] [n > 0] marks every
+    [n]-th hit as {!Hit_guard} (default 0: guarding off). *)
+
+type 'v lookup =
+  | Miss
+  | Hit of 'v
+  | Hit_guard of 'v
+      (** a hit sampled for the correctness guard: the caller must
+          recompute the value independently, compare, and call
+          {!guard_failed} (then overwrite) on a mismatch *)
+
+val find : 'v t -> key -> 'v lookup
+(** Looks the key up and, on a hit, marks the entry most recently used.
+    A signature match with a different canonical string books a
+    [<name>.collisions] and counts as a miss. *)
+
+val add : 'v t -> key -> bytes:int -> 'v -> unit
+(** Inserts (or replaces) the entry and evicts from the LRU end until
+    both capacity bounds hold again.  [bytes] is the caller's size
+    estimate for the value; the canonical key's own size is accounted
+    automatically.  An entry larger than [max_bytes] on its own is not
+    admitted. *)
+
+val remove : 'v t -> key -> unit
+(** Drops the entry if present (exact canonical match); no-op otherwise. *)
+
+val guard_failed : 'v t -> unit
+(** Books one [<name>.guard_failed]: the caller's independent recompute
+    disagreed with a {!Hit_guard} value.  The caller decides whether to
+    {!remove} or overwrite the poisoned entry. *)
+
+type stats = { entries : int; bytes : int }
+
+val stats : 'v t -> stats
+(** Resident entry count and accounted bytes. *)
+
+val clear : 'v t -> unit
+(** Empties the cache (capacity and counters keep their values; no
+    eviction is booked). *)

@@ -49,7 +49,22 @@ let replay_counterexample = cex_fires
    Check_failed. *)
 let recert_budget budget = if budget > 0 then 10 * budget else 0
 
-let check_lit_cert ~certify ~budget m l =
+(* Cross-request verdict memo (the server's cone cache).  Installed once
+   before serving; [None] (the default) keeps every entry point
+   byte-identical to the memo-less behaviour.  Certifying calls bypass
+   the memo entirely: a cached verdict has no fresh proof object. *)
+type memo = {
+  lookup : Aig.t -> Aig.t -> verdict option;
+  store : Aig.t -> Aig.t -> verdict -> unit;
+  lit_lookup : Aig.t -> Aig.lit -> verdict option;
+  lit_store : Aig.t -> Aig.lit -> verdict -> unit;
+}
+
+let memo_hook : memo option ref = ref None
+
+let set_memo m = memo_hook := m
+
+let check_lit_cert_fresh ~certify ~budget m l =
   Telemetry.with_phase "cec" @@ fun () ->
   if l = Aig.false_ then
     (* Structurally constant-false: nothing was solved, nothing to check. *)
@@ -103,6 +118,22 @@ let check_lit_cert ~certify ~budget m l =
       (count_verdict (Counterexample cex), cert)
   end
 
+let check_lit_cert ~certify ~budget m l =
+  match if certify then None else !memo_hook with
+  | None -> check_lit_cert_fresh ~certify ~budget m l
+  | Some _ when l = Aig.false_ ->
+    (* Structurally trivial — cheaper to answer than to fingerprint. *)
+    check_lit_cert_fresh ~certify ~budget m l
+  | Some memo -> (
+    match memo.lit_lookup m l with
+    | Some v -> (count_verdict v, None)
+    | None ->
+      let v, cert = check_lit_cert_fresh ~certify ~budget m l in
+      (* Undecided depends on the conflict budget, so it is never
+         memoised; decisive verdicts are functions of the cone. *)
+      (match v with Undecided -> () | Equivalent | Counterexample _ -> memo.lit_store m l v);
+      (v, cert))
+
 let check_lit ?(budget = 0) m l = fst (check_lit_cert ~certify:false ~budget m l)
 
 let check_lit_certified ?(budget = 0) m l = check_lit_cert ~certify:true ~budget m l
@@ -136,7 +167,7 @@ let find_sim_cex ?(sim_rounds = 32) ~seed m miter =
 let find_counterexample_by_simulation ?(rounds = 32) ?(seed = 0x5eed) m lit =
   find_sim_cex ~sim_rounds:rounds ~seed m lit
 
-let check_cert ~certify ~budget ~sim_rounds ~seed a b =
+let check_cert_fresh ~certify ~budget ~sim_rounds ~seed a b =
   let m, miter = build_miter a b in
   match find_sim_cex ~sim_rounds ~seed m miter with
   | Some cex ->
@@ -153,6 +184,19 @@ let check_cert ~certify ~budget ~sim_rounds ~seed a b =
     in
     (Counterexample cex, cert)
   | None -> check_lit_cert ~certify ~budget m miter
+
+let check_cert ~certify ~budget ~sim_rounds ~seed a b =
+  match if certify then None else !memo_hook with
+  | None -> check_cert_fresh ~certify ~budget ~sim_rounds ~seed a b
+  | Some memo -> (
+    match memo.lookup a b with
+    | Some v -> (count_verdict v, None)
+    | None ->
+      let v, cert = check_cert_fresh ~certify ~budget ~sim_rounds ~seed a b in
+      (* Undecided depends on the conflict budget, so it is never
+         memoised; decisive verdicts are functions of the circuits. *)
+      (match v with Undecided -> () | Equivalent | Counterexample _ -> memo.store a b v);
+      (v, cert))
 
 let check ?(budget = 0) ?(sim_rounds = 32) ?(seed = 0x5eed) a b =
   fst (check_cert ~certify:false ~budget ~sim_rounds ~seed a b)

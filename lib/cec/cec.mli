@@ -45,3 +45,34 @@ val find_counterexample_by_simulation :
 val build_miter : Aig.t -> Aig.t -> Aig.t * Aig.lit
 (** Fresh manager containing both circuits over shared inputs and the
     literal "some output pair differs". *)
+
+(** {2 Cross-request verdict memo}
+
+    Hook for a long-lived process (the [eco_cli serve] daemon) to reuse
+    decisive CEC verdicts across requests.  With a memo installed,
+    {!check} first consults [lookup] and {!check_lit} consults
+    [lit_lookup] — the latter is the hook that fires inside the engine's
+    feasibility and verification ladders, which check miter {e literals}
+    rather than AIG pairs.  A [Some] answer is returned directly (and
+    counted as a normal [cec.*] verdict); otherwise the full check runs
+    and decisive verdicts ([Equivalent] / [Counterexample]) are handed
+    to [store] / [lit_store].  [Undecided] is never memoised — it
+    depends on the conflict budget, not the circuits.  The certifying
+    entry points ({!check_certified}, {!check_lit_certified}) always
+    bypass the memo: a cached verdict has no fresh proof object to
+    certify.  The memo implementation is responsible for its own keying
+    and collision safety (see [Server.Fingerprint] and [Cache]) and must
+    be safe to call from concurrent domains. *)
+
+type memo = {
+  lookup : Aig.t -> Aig.t -> verdict option;
+  store : Aig.t -> Aig.t -> verdict -> unit;
+  lit_lookup : Aig.t -> Aig.lit -> verdict option;
+      (** verdict of "is this literal satisfiable in this manager" *)
+  lit_store : Aig.t -> Aig.lit -> verdict -> unit;
+}
+
+val set_memo : memo option -> unit
+(** Installs (or, with [None], removes) the process-global memo.
+    Intended to be set once at server start-up, before any concurrent
+    checking begins. *)

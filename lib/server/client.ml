@@ -1,0 +1,46 @@
+type t = { fd : Unix.file_descr }
+
+let connect address =
+  match address with
+  | Protocol.Unix_socket path ->
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (try Unix.connect fd (Unix.ADDR_UNIX path)
+     with e ->
+       Unix.close fd;
+       raise e);
+    { fd }
+  | Protocol.Tcp (host, port) ->
+    let addr =
+      match Unix.getaddrinfo host (string_of_int port) [ Unix.AI_SOCKTYPE Unix.SOCK_STREAM ] with
+      | { Unix.ai_addr; _ } :: _ -> ai_addr
+      | [] -> raise (Unix.Unix_error (Unix.EHOSTUNREACH, "getaddrinfo", host))
+    in
+    let fd = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+    (try Unix.connect fd addr
+     with e ->
+       Unix.close fd;
+       raise e);
+    { fd }
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let request_raw t payload =
+  Protocol.write_frame t.fd payload;
+  match Protocol.read_frame t.fd with
+  | Some resp -> resp
+  | None -> failwith "connection closed before a response arrived"
+
+let request t ?id ?deadline_ms req =
+  let payload = Jsonx.to_string (Request.to_json ?id ?deadline_ms req) in
+  let resp = request_raw t payload in
+  try Jsonx.of_string resp
+  with Jsonx.Parse_error msg -> failwith ("malformed response from server: " ^ msg)
+
+let is_ok resp = Jsonx.member "ok" resp = Some (Jsonx.Bool true)
+
+let error_of resp =
+  match Jsonx.member "error" resp with
+  | None -> None
+  | Some err ->
+    let str k = Option.value ~default:"" (Option.bind (Jsonx.member k err) Jsonx.to_str) in
+    Some (str "code", str "msg")

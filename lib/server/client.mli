@@ -1,0 +1,32 @@
+(** Synchronous protocol client.
+
+    One connection, one request in flight at a time: {!request} sends a
+    frame and blocks for the matching response.  (The protocol itself
+    allows pipelining — responses are correlated by ["id"] — but every
+    shipped client is strictly request/response per connection; the
+    stress bench gets its concurrency from many connections instead.)
+    Used by [eco_cli client], the end-to-end tests and the stress
+    bench. *)
+
+type t
+
+val connect : Protocol.address -> t
+(** Raises [Unix.Unix_error] when the server is not reachable. *)
+
+val close : t -> unit
+
+val request : t -> ?id:Jsonx.t -> ?deadline_ms:int -> Request.request -> Jsonx.t
+(** Sends the request and returns the parsed response object.  Raises
+    [Failure] on transport errors (connection closed mid-response,
+    malformed response frame or JSON). *)
+
+val request_raw : t -> string -> string
+(** Sends a raw payload verbatim and returns the raw response payload —
+    the tests' lever for exercising malformed frames and payloads.
+    Raises [Failure] on EOF. *)
+
+val is_ok : Jsonx.t -> bool
+(** ["ok"] of a response object. *)
+
+val error_of : Jsonx.t -> (string * string) option
+(** [(code, msg)] of an error response; [None] on success responses. *)

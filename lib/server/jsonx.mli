@@ -1,0 +1,43 @@
+(** Minimal JSON values for the wire protocol.
+
+    The container ships no JSON library, so the server carries its own
+    self-contained parser and printer for the protocol's needs: UTF-8
+    text, the full escape set including [\uXXXX] (with surrogate pairs),
+    arbitrary nesting, and integers kept exact ([Int]) apart from
+    general numbers ([Float]).  Object member order is preserved by both
+    directions, which is what makes cached response payloads
+    byte-identical across replays. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+(** Raised by {!of_string} with a position-annotated message. *)
+
+val of_string : string -> t
+(** Parses one JSON document; trailing non-whitespace is an error. *)
+
+val to_string : t -> string
+(** Compact (no-whitespace) serialisation.  [Float] values print via
+    ["%.17g"] so they round-trip; [Int] prints exactly. *)
+
+(** {2 Accessors}
+
+    Total helpers used by request parsing: they return [None] rather
+    than raising, so malformed requests turn into protocol error
+    responses instead of exceptions. *)
+
+val member : string -> t -> t option
+(** [member k (Obj ...)] — the value under key [k]; [None] on missing
+    key or non-object. *)
+
+val to_str : t -> string option
+val to_int : t -> int option
+val to_bool : t -> bool option
+val to_list : t -> t list option

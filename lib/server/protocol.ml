@@ -1,0 +1,161 @@
+let version = 1
+
+let max_frame_default = 8 * 1024 * 1024
+
+type error_code =
+  | Bad_frame
+  | Bad_json
+  | Bad_version
+  | Unknown_op
+  | Bad_request
+  | Deadline_expired
+  | Shutting_down
+  | Internal
+
+let code_string = function
+  | Bad_frame -> "bad_frame"
+  | Bad_json -> "bad_json"
+  | Bad_version -> "bad_version"
+  | Unknown_op -> "unknown_op"
+  | Bad_request -> "bad_request"
+  | Deadline_expired -> "deadline_expired"
+  | Shutting_down -> "shutting_down"
+  | Internal -> "internal"
+
+(* {2 Endpoints} *)
+
+type address = Unix_socket of string | Tcp of string * int
+
+let parse_address s =
+  let prefix p = String.length s > String.length p && String.sub s 0 (String.length p) = p in
+  let after p = String.sub s (String.length p) (String.length s - String.length p) in
+  if prefix "unix:" then Ok (Unix_socket (after "unix:"))
+  else if prefix "tcp:" then begin
+    match String.rindex_opt (after "tcp:") ':' with
+    | None -> Error (Printf.sprintf "tcp address %S must be tcp:HOST:PORT" s)
+    | Some i -> (
+      let hp = after "tcp:" in
+      let host = String.sub hp 0 i in
+      let port = String.sub hp (i + 1) (String.length hp - i - 1) in
+      match int_of_string_opt port with
+      | Some p when p > 0 && p < 65536 -> Ok (Tcp (host, p))
+      | _ -> Error (Printf.sprintf "bad port %S in %S" port s))
+  end
+  else if s = "" then Error "empty address"
+  else Ok (Unix_socket s)
+
+let address_string = function
+  | Unix_socket path -> "unix:" ^ path
+  | Tcp (host, port) -> Printf.sprintf "tcp:%s:%d" host port
+
+(* {2 Frame encoding} *)
+
+let encode_frame payload =
+  let n = String.length payload in
+  let b = Bytes.create (4 + n) in
+  Bytes.set_int32_be b 0 (Int32.of_int n);
+  Bytes.blit_string payload 0 b 4 n;
+  Bytes.unsafe_to_string b
+
+type decoder = {
+  max_frame : int;
+  buf : Buffer.t;
+  mutable dead : string option;  (* sticky framing error *)
+}
+
+let decoder ?(max_frame = max_frame_default) () =
+  { max_frame; buf = Buffer.create 4096; dead = None }
+
+let feed d bytes n = if d.dead = None then Buffer.add_subbytes d.buf bytes 0 n
+
+let next_frame d =
+  match d.dead with
+  | Some e -> `Error e
+  | None ->
+    let len = Buffer.length d.buf in
+    if len < 4 then `Await
+    else begin
+      let contents = Buffer.contents d.buf in
+      let n = Int32.to_int (String.get_int32_be contents 0) in
+      if n <= 0 then begin
+        let e = Printf.sprintf "invalid frame length %d" n in
+        d.dead <- Some e;
+        `Error e
+      end
+      else if n > d.max_frame then begin
+        let e = Printf.sprintf "frame length %d exceeds cap %d" n d.max_frame in
+        d.dead <- Some e;
+        `Error e
+      end
+      else if len < 4 + n then `Await
+      else begin
+        let payload = String.sub contents 4 n in
+        Buffer.clear d.buf;
+        Buffer.add_substring d.buf contents (4 + n) (len - 4 - n);
+        `Frame payload
+      end
+    end
+
+(* {2 Blocking frame I/O} *)
+
+let really_write fd s =
+  let b = Bytes.unsafe_of_string s in
+  let n = Bytes.length b in
+  let off = ref 0 in
+  while !off < n do
+    let written = Unix.write fd b !off (n - !off) in
+    off := !off + written
+  done
+
+let write_frame fd payload = really_write fd (encode_frame payload)
+
+let really_read fd n =
+  let b = Bytes.create n in
+  let off = ref 0 in
+  let eof = ref false in
+  while (not !eof) && !off < n do
+    let r = Unix.read fd b !off (n - !off) in
+    if r = 0 then eof := true else off := !off + r
+  done;
+  if !eof then None else Some (Bytes.unsafe_to_string b)
+
+let read_frame ?(max_frame = max_frame_default) fd =
+  match really_read fd 4 with
+  | None -> None
+  | Some header ->
+    let n = Int32.to_int (String.get_int32_be header 0) in
+    if n <= 0 || n > max_frame then failwith (Printf.sprintf "bad frame length %d" n)
+    else begin
+      match really_read fd n with
+      | None -> failwith "truncated frame"
+      | Some payload -> Some payload
+    end
+
+(* {2 Response builders} *)
+
+let ok_response ~id ?cached result =
+  let fields =
+    [ ("v", Jsonx.Int version); ("id", id); ("ok", Jsonx.Bool true) ]
+    @ (match cached with Some c -> [ ("cached", Jsonx.Bool c) ] | None -> [])
+    @ [ ("result", result) ]
+  in
+  Jsonx.to_string (Jsonx.Obj fields)
+
+(* Splices an already-serialised result string into the envelope without
+   reparsing it.  Field order matches [ok_response] exactly — this is
+   what makes a cached replay byte-identical to the original response. *)
+let ok_response_raw ~id ?cached result =
+  let cached = match cached with Some c -> Printf.sprintf "\"cached\":%b," c | None -> "" in
+  Printf.sprintf "{\"v\":%d,\"id\":%s,\"ok\":true,%s\"result\":%s}" version (Jsonx.to_string id)
+    cached result
+
+let error_response ~id code msg =
+  Jsonx.to_string
+    (Jsonx.Obj
+       [
+         ("v", Jsonx.Int version);
+         ("id", id);
+         ("ok", Jsonx.Bool false);
+         ( "error",
+           Jsonx.Obj [ ("code", Jsonx.Str (code_string code)); ("msg", Jsonx.Str msg) ] );
+       ])

@@ -1,0 +1,98 @@
+(** Wire protocol of the ECO service: length-prefixed JSON frames.
+
+    This module is the OCaml side of the contract written down in
+    [PROTOCOL.md]: frame encoding/decoding, the protocol version, the
+    error-code vocabulary, and the response builders.  Request {e
+    parsing} (the schema of the JSON inside a frame) lives in
+    {!module:Request}; the daemon itself in [Server].
+
+    A frame is a 4-byte big-endian unsigned payload length [N]
+    ([1 <= N <= max_frame]) followed by [N] bytes of UTF-8 JSON.
+    Violations of the framing layer itself (zero or oversized length)
+    are not recoverable mid-stream — the peer's framing is broken — so
+    the server answers with one [bad_frame] error and closes the
+    connection.  Anything wrong {e inside} a well-formed frame
+    (unparseable JSON, unknown op, invalid netlists) is answered with an
+    error response and the connection stays usable. *)
+
+val version : int
+(** Protocol version, currently 1.  Requests must carry ["v": 1];
+    the versioning rule is spelled out in [PROTOCOL.md]. *)
+
+val max_frame_default : int
+(** Default payload cap, 8 MiB. *)
+
+(** {2 Endpoints} *)
+
+type address =
+  | Unix_socket of string  (** path of a Unix-domain stream socket *)
+  | Tcp of string * int  (** host, port *)
+
+val parse_address : string -> (address, string) result
+(** ["unix:PATH"], ["tcp:HOST:PORT"], or a bare path (taken as a Unix
+    socket) — the spelling both [eco_cli serve --socket] and the client
+    accept. *)
+
+val address_string : address -> string
+
+(** {2 Error codes} *)
+
+type error_code =
+  | Bad_frame  (** framing violated (zero/oversized length); connection closes *)
+  | Bad_json  (** payload is not a JSON document *)
+  | Bad_version  (** missing or unsupported ["v"] *)
+  | Unknown_op  (** ["op"] missing or not one of solve/batch/stats/shutdown *)
+  | Bad_request  (** schema or validation failure (bad netlist, unknown unit, …) *)
+  | Deadline_expired  (** the request's [deadline_ms] elapsed before its job started *)
+  | Shutting_down  (** server is draining; no new jobs are accepted *)
+  | Internal  (** unexpected exception while solving; the worker survives *)
+
+val code_string : error_code -> string
+(** The wire spelling, e.g. [Bad_request] -> ["bad_request"]. *)
+
+(** {2 Frame encoding} *)
+
+val encode_frame : string -> string
+(** Payload to header + payload bytes. *)
+
+type decoder
+(** Incremental frame decoder: feed raw bytes as they arrive, pull
+    complete payloads out.  One decoder per connection. *)
+
+val decoder : ?max_frame:int -> unit -> decoder
+
+val feed : decoder -> bytes -> int -> unit
+(** [feed d buf n] appends the first [n] bytes of [buf]. *)
+
+val next_frame : decoder -> [ `Frame of string | `Await | `Error of string ]
+(** Next complete payload; [`Await] when more bytes are needed;
+    [`Error] when the framing layer is violated (the decoder is then
+    permanently dead and keeps returning the error). *)
+
+(** {2 Blocking frame I/O}
+
+    Used by the client side and the tests; the server's event loop uses
+    the incremental {!decoder} instead. *)
+
+val write_frame : Unix.file_descr -> string -> unit
+
+val read_frame : ?max_frame:int -> Unix.file_descr -> string option
+(** [None] on orderly EOF before a header byte; raises [Failure] on a
+    truncated or oversized frame. *)
+
+(** {2 Response builders}
+
+    Responses are serialised JSON, ready for {!encode_frame}. *)
+
+val ok_response : id:Jsonx.t -> ?cached:bool -> Jsonx.t -> string
+(** [{"v":1,"id":…,"ok":true,("cached":…,)?"result":…}].  [cached] is
+    emitted only when given — solve responses carry it, stats/shutdown
+    do not. *)
+
+val ok_response_raw : id:Jsonx.t -> ?cached:bool -> string -> string
+(** {!ok_response} with an already-serialised ["result"] spliced in
+    verbatim — the path cached outcomes take, so a replayed response is
+    byte-identical to the originally computed one. *)
+
+val error_response : id:Jsonx.t -> error_code -> string -> string
+(** [{"v":1,"id":…,"ok":false,"error":{"code":…,"msg":…}}]. *)

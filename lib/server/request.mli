@@ -1,0 +1,93 @@
+(** Request schema: parsing, validation and config mapping.
+
+    One validation layer serves both front ends: the daemon parses
+    requests out of protocol frames into {!envelope}s, and [eco_cli]
+    funnels its [solve]/[client] arguments through the same
+    {!method_of_string}/{!resolve} pair — so a bad netlist, an unknown
+    unit or a bogus method name produces the same one-line diagnostic
+    whether it arrives over a socket or over argv, and never an uncaught
+    exception. *)
+
+(** Per-job solver options, a faithful subset of [Eco.Engine.config]
+    (the rest of the config is fixed by the method defaults). *)
+type options = {
+  method_ : Eco.Engine.method_;
+  certify : bool;
+  reuse_sessions : bool;
+  inprocess : bool;
+  structural : bool;
+      (** batch-style structural override: forces the structural path
+          and trims the verification budget, exactly as [eco_cli batch]
+          does for suite units flagged structural *)
+  verify : bool;
+  budget : int;  (** conflicts per SAT call; 0 = library default *)
+  no_cache : bool;  (** bypass the server's outcome cache for this job *)
+}
+
+val default_options : options
+(** [min_assume], verify on, everything else off — the defaults of
+    [eco_cli solve]. *)
+
+(** Where the instance comes from. *)
+type source =
+  | Unit_name of string  (** a built-in benchmark unit, "unit1".."unit20" *)
+  | Inline of {
+      name : string;
+      impl : string;  (** structural Verilog text *)
+      spec : string;  (** structural Verilog text *)
+      targets : string list;
+      weights : string option;  (** "name weight" lines *)
+    }
+
+type solve_spec = { source : source; options : options }
+
+type request = Solve of solve_spec | Batch of solve_spec list | Stats | Shutdown
+
+type envelope = {
+  id : Jsonx.t;  (** echoed verbatim in the response; [Null] when absent *)
+  deadline_ms : int option;
+  request : request;
+}
+
+type error = {
+  err_id : Jsonx.t;  (** the request's ["id"] when one could be read, else [Null] *)
+  code : Protocol.error_code;
+  msg : string;
+}
+
+val parse : string -> (envelope, error) result
+(** Parses one frame payload.  The error side distinguishes
+    [Bad_json] (not JSON), [Bad_version] (missing/unsupported ["v"]),
+    [Unknown_op] and [Bad_request] (anything schema-level), and carries
+    the request id when the payload was parseable enough to contain
+    one, so error responses stay correlatable. *)
+
+val to_json : ?id:Jsonx.t -> ?deadline_ms:int -> request -> Jsonx.t
+(** The request's wire form — the inverse of {!parse}, used by the
+    clients ([eco_cli client], the stress bench). *)
+
+val method_of_string : string -> (Eco.Engine.method_, string) result
+(** ["baseline" | "min_assume" | "exact"]. *)
+
+val method_name : Eco.Engine.method_ -> string
+
+val resolve : source -> (Eco.Instance.t, string) result
+(** Validates and loads the instance: suite lookup for {!Unit_name},
+    Verilog/weights parsing plus [Eco.Instance.make] validation for
+    {!Inline}.  Every failure is an [Error] message, never an
+    exception. *)
+
+val config_of_options : options -> Eco.Engine.config
+(** Method defaults plus the option overrides; the [structural] override
+    additionally disables 2QBF and trims [verify_budget] to 10k
+    conflicts, mirroring [eco_cli batch]'s handling of structural
+    units. *)
+
+val render_outcome : name:string -> Eco.Engine.outcome -> Jsonx.t
+(** The deterministic ["result"] object of a solve response: status,
+    cost, gates, verification verdict, per-target patch summaries.
+    Wall-clock time is deliberately {e not} part of it, so a cached
+    replay is byte-identical to the original computation. *)
+
+val spec_to_json : solve_spec -> Jsonx.t
+(** Serialises a job back to its request form (used by the clients). *)

@@ -1,0 +1,159 @@
+(* The cross-request LRU cache: hit/miss, LRU eviction under both
+   capacity bounds, signature-collision fallback, guard cadence,
+   remove/clear/stats. *)
+
+let key ?(sig64 = 1L) canon = { Cache.sig64; canon }
+
+let cv name = Telemetry.counter_value name
+
+(* Each test creates a cache under a unique name so the global counter
+   registry never mixes two tests' traffic. *)
+let fresh =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Printf.sprintf "tcache%d" !n
+
+let test_hit_miss () =
+  let name = fresh () in
+  let c = Cache.create ~name () in
+  let k = key ~sig64:7L "a" in
+  (match Cache.find c k with Cache.Miss -> () | _ -> Alcotest.fail "expected miss");
+  Cache.add c k ~bytes:10 "va";
+  (match Cache.find c k with
+  | Cache.Hit v -> Alcotest.(check string) "hit value" "va" v
+  | _ -> Alcotest.fail "expected hit");
+  Alcotest.(check int) "one miss" 1 (cv (name ^ ".misses"));
+  Alcotest.(check int) "one hit" 1 (cv (name ^ ".hits"));
+  Alcotest.(check int) "one insertion" 1 (cv (name ^ ".insertions"))
+
+let test_replace_updates_value () =
+  let c = Cache.create ~name:(fresh ()) () in
+  let k = key "a" in
+  Cache.add c k ~bytes:1 "old";
+  Cache.add c k ~bytes:1 "new";
+  (match Cache.find c k with
+  | Cache.Hit v -> Alcotest.(check string) "replaced" "new" v
+  | _ -> Alcotest.fail "expected hit");
+  Alcotest.(check int) "still one entry" 1 (Cache.stats c).Cache.entries
+
+let test_lru_eviction_order () =
+  let name = fresh () in
+  let c = Cache.create ~max_entries:2 ~name () in
+  let ka = key ~sig64:1L "a" and kb = key ~sig64:2L "b" and kc = key ~sig64:3L "c" in
+  Cache.add c ka ~bytes:1 "va";
+  Cache.add c kb ~bytes:1 "vb";
+  (* Touch [a] so [b] is now the LRU entry; inserting [c] must evict [b]. *)
+  (match Cache.find c ka with Cache.Hit _ -> () | _ -> Alcotest.fail "a resident");
+  Cache.add c kc ~bytes:1 "vc";
+  Alcotest.(check int) "one eviction" 1 (cv (name ^ ".evictions"));
+  (match Cache.find c kb with Cache.Miss -> () | _ -> Alcotest.fail "b evicted");
+  (match Cache.find c ka with Cache.Hit _ -> () | _ -> Alcotest.fail "a survived");
+  (match Cache.find c kc with Cache.Hit _ -> () | _ -> Alcotest.fail "c resident")
+
+let test_byte_cap () =
+  let name = fresh () in
+  (* Each entry accounts canon (1 byte) + 99 = 100 bytes; cap 250 keeps
+     two entries resident. *)
+  let c = Cache.create ~max_bytes:250 ~name () in
+  Cache.add c (key ~sig64:1L "a") ~bytes:99 "va";
+  Cache.add c (key ~sig64:2L "b") ~bytes:99 "vb";
+  Alcotest.(check int) "no eviction yet" 0 (cv (name ^ ".evictions"));
+  Cache.add c (key ~sig64:3L "c") ~bytes:99 "vc";
+  Alcotest.(check int) "byte cap evicted the LRU entry" 1 (cv (name ^ ".evictions"));
+  let s = Cache.stats c in
+  Alcotest.(check int) "two resident" 2 s.Cache.entries;
+  Alcotest.(check bool) "bytes within cap" true (s.Cache.bytes <= 250)
+
+let test_oversized_entry_rejected () =
+  let c = Cache.create ~max_bytes:100 ~name:(fresh ()) () in
+  let k = key "big" in
+  Cache.add c k ~bytes:1000 "v";
+  (match Cache.find c k with Cache.Miss -> () | _ -> Alcotest.fail "oversized not admitted");
+  Alcotest.(check int) "cache empty" 0 (Cache.stats c).Cache.entries
+
+let test_collision_fallback () =
+  let name = fresh () in
+  let c = Cache.create ~name () in
+  Cache.add c (key ~sig64:42L "canonA") ~bytes:1 "va";
+  (* Same 64-bit signature, different canonical key: must be a miss and
+     book a collision — never return the other entry's value. *)
+  (match Cache.find c (key ~sig64:42L "canonB") with
+  | Cache.Miss -> ()
+  | _ -> Alcotest.fail "collision must miss");
+  Alcotest.(check int) "collision booked" 1 (cv (name ^ ".collisions"));
+  (* Both canonical keys can be resident under one signature. *)
+  Cache.add c (key ~sig64:42L "canonB") ~bytes:1 "vb";
+  (match Cache.find c (key ~sig64:42L "canonA") with
+  | Cache.Hit v -> Alcotest.(check string) "A kept its value" "va" v
+  | _ -> Alcotest.fail "A resident");
+  match Cache.find c (key ~sig64:42L "canonB") with
+  | Cache.Hit v -> Alcotest.(check string) "B kept its value" "vb" v
+  | _ -> Alcotest.fail "B resident"
+
+let test_guard_cadence () =
+  let name = fresh () in
+  let c = Cache.create ~guard_period:3 ~name () in
+  let k = key "a" in
+  Cache.add c k ~bytes:1 "v";
+  let kinds =
+    List.init 6 (fun _ ->
+        match Cache.find c k with
+        | Cache.Hit _ -> `H
+        | Cache.Hit_guard _ -> `G
+        | Cache.Miss -> `M)
+  in
+  (* Every third hit is sampled for the guard. *)
+  Alcotest.(check bool) "cadence" true (kinds = [ `H; `H; `G; `H; `H; `G ]);
+  Alcotest.(check int) "guard checks booked" 2 (cv (name ^ ".guard_checks"));
+  Cache.guard_failed c;
+  Alcotest.(check int) "guard failure booked" 1 (cv (name ^ ".guard_failed"))
+
+let test_remove_and_clear () =
+  let c = Cache.create ~name:(fresh ()) () in
+  let ka = key ~sig64:1L "a" and kb = key ~sig64:2L "b" in
+  Cache.add c ka ~bytes:1 "va";
+  Cache.add c kb ~bytes:1 "vb";
+  Cache.remove c ka;
+  Cache.remove c ka (* idempotent *);
+  (match Cache.find c ka with Cache.Miss -> () | _ -> Alcotest.fail "a removed");
+  (match Cache.find c kb with Cache.Hit _ -> () | _ -> Alcotest.fail "b untouched");
+  Cache.clear c;
+  let s = Cache.stats c in
+  Alcotest.(check int) "no entries after clear" 0 s.Cache.entries;
+  Alcotest.(check int) "no bytes after clear" 0 s.Cache.bytes;
+  match Cache.find c kb with Cache.Miss -> () | _ -> Alcotest.fail "cleared"
+
+let test_eviction_churn () =
+  (* A long insert stream through a tiny cache: entry count stays
+     bounded and the most recent keys stay resident. *)
+  let c = Cache.create ~max_entries:8 ~name:(fresh ()) () in
+  for i = 1 to 1000 do
+    Cache.add c (key ~sig64:(Int64.of_int i) (string_of_int i)) ~bytes:8 i
+  done;
+  Alcotest.(check int) "bounded" 8 (Cache.stats c).Cache.entries;
+  for i = 993 to 1000 do
+    match Cache.find c (key ~sig64:(Int64.of_int i) (string_of_int i)) with
+    | Cache.Hit v -> Alcotest.(check int) "recent key resident" i v
+    | _ -> Alcotest.fail "recent key evicted"
+  done
+
+let () =
+  Alcotest.run "cache"
+    [
+      ( "lru",
+        [
+          Alcotest.test_case "hit and miss" `Quick test_hit_miss;
+          Alcotest.test_case "replace updates in place" `Quick test_replace_updates_value;
+          Alcotest.test_case "LRU eviction order" `Quick test_lru_eviction_order;
+          Alcotest.test_case "byte cap" `Quick test_byte_cap;
+          Alcotest.test_case "oversized entry rejected" `Quick test_oversized_entry_rejected;
+          Alcotest.test_case "eviction churn" `Quick test_eviction_churn;
+        ] );
+      ( "integrity",
+        [
+          Alcotest.test_case "signature collision falls back" `Quick test_collision_fallback;
+          Alcotest.test_case "guard cadence" `Quick test_guard_cadence;
+          Alcotest.test_case "remove and clear" `Quick test_remove_and_clear;
+        ] );
+    ]

@@ -1,0 +1,119 @@
+(* Regression tests for eco_cli's error paths: bad flags, bad inputs and
+   unreadable files must produce a one-line stderr diagnostic and exit
+   code 2 (usage) or 1 (operational failure) — never an uncaught
+   exception with a backtrace. *)
+
+let exe = Filename.concat ".." "bin/eco_cli.exe"
+
+let run args =
+  let out_file = Filename.temp_file "eco-cli-out" ".txt" in
+  let err_file = Filename.temp_file "eco-cli-err" ".txt" in
+  let cmd =
+    Printf.sprintf "%s %s >%s 2>%s"
+      (Filename.quote exe)
+      (String.concat " " (List.map Filename.quote args))
+      (Filename.quote out_file) (Filename.quote err_file)
+  in
+  let code = Sys.command cmd in
+  let slurp f =
+    let ic = open_in_bin f in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    Sys.remove f;
+    s
+  in
+  (code, slurp out_file, slurp err_file)
+
+let check_no_backtrace what err =
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) (what ^ ": no uncaught exception") false
+    (contains err "Raised at" || contains err "Fatal error: exception"
+   || contains err "Backtrace")
+
+let lines s = List.filter (fun l -> String.trim l <> "") (String.split_on_char '\n' s)
+
+let check_usage_error what args =
+  let code, _out, err = run args in
+  Alcotest.(check int) (what ^ ": exit 2") 2 code;
+  Alcotest.(check bool) (what ^ ": stderr non-empty") true (String.trim err <> "");
+  check_no_backtrace what err
+
+let test_unknown_flag () = check_usage_error "unknown flag" [ "solve"; "--no-such-flag" ]
+
+let test_unknown_subcommand () = check_usage_error "unknown subcommand" [ "frobnicate" ]
+
+let test_unknown_unit () =
+  let code, _out, err = run [ "solve"; "--unit"; "no_such_unit" ] in
+  Alcotest.(check int) "unknown unit: exit 2" 2 code;
+  Alcotest.(check int) "unknown unit: one-line stderr" 1 (List.length (lines err));
+  check_no_backtrace "unknown unit" err
+
+let test_bad_method () =
+  check_usage_error "bad method name" [ "solve"; "--unit"; "unit5"; "--method"; "sorcery" ]
+
+let test_missing_input_file () =
+  check_usage_error "nonexistent netlist"
+    [ "solve"; "--impl"; "/nonexistent/impl.v"; "--spec"; "/nonexistent/spec.v"; "-t"; "x" ]
+
+let test_unreadable_input_file () =
+  (* A directory passes cmdliner's existence check but fails to read;
+     that failure must surface as a one-line exit-2 diagnostic. *)
+  let dir = Filename.temp_file "eco-cli-dir" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect ~finally:(fun () -> Unix.rmdir dir) @@ fun () ->
+  let code, _out, err = run [ "solve"; "--impl"; dir; "--spec"; dir; "-t"; "x" ] in
+  Alcotest.(check int) "unreadable input: exit 2" 2 code;
+  Alcotest.(check bool) "unreadable input: stderr non-empty" true (String.trim err <> "");
+  check_no_backtrace "unreadable input" err
+
+let test_missing_targets () =
+  (* Inline netlists without --target is a usage error caught by the
+     shared validation layer. *)
+  let v = Filename.temp_file "eco-cli" ".v" in
+  Fun.protect ~finally:(fun () -> Sys.remove v) @@ fun () ->
+  let oc = open_out v in
+  output_string oc "module m(input a, output y); assign y = a; endmodule\n";
+  close_out oc;
+  let code, _out, err = run [ "solve"; "--impl"; v; "--spec"; v ] in
+  Alcotest.(check int) "missing --target: exit 2" 2 code;
+  check_no_backtrace "missing --target" err
+
+let test_client_unreachable_server () =
+  (* An unreachable server is an operational failure (1), not usage (2),
+     and still a clean one-liner. *)
+  let code, _out, err = run [ "client"; "--socket"; "/nonexistent/dir/eco.sock"; "--stats" ] in
+  Alcotest.(check int) "unreachable server: exit 1" 1 code;
+  Alcotest.(check bool) "unreachable server: stderr non-empty" true (String.trim err <> "");
+  check_no_backtrace "unreachable server" err
+
+let test_solve_success_exit_zero () =
+  let code, out, err = run [ "solve"; "--unit"; "unit5" ] in
+  Alcotest.(check int) "unit5 solves: exit 0" 0 code;
+  Alcotest.(check bool) "solve reports a result" true (String.trim out <> "");
+  check_no_backtrace "successful solve" err
+
+let () =
+  Alcotest.run "cli_errors"
+    [
+      ( "usage",
+        [
+          Alcotest.test_case "unknown flag" `Quick test_unknown_flag;
+          Alcotest.test_case "unknown subcommand" `Quick test_unknown_subcommand;
+          Alcotest.test_case "unknown unit" `Quick test_unknown_unit;
+          Alcotest.test_case "bad method name" `Quick test_bad_method;
+          Alcotest.test_case "nonexistent netlist" `Quick test_missing_input_file;
+          Alcotest.test_case "unreadable netlist" `Quick test_unreadable_input_file;
+          Alcotest.test_case "missing --target" `Quick test_missing_targets;
+        ] );
+      ( "operational",
+        [
+          Alcotest.test_case "unreachable server" `Quick test_client_unreachable_server;
+          Alcotest.test_case "success still exits 0" `Quick test_solve_success_exit_zero;
+        ] );
+    ]
