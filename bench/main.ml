@@ -9,6 +9,12 @@
                                             -j equivalence check)
    dune exec bench/main.exe ablations    -- ablations A-D
    dune exec bench/main.exe micro        -- bechamel kernels
+   dune exec bench/main.exe discovery    -- found-vs-planted target table
+                                            on blind (--no-targets) units;
+                                            with --smoke, restrict to the
+                                            smoke units and enforce the
+                                            recovery/parity/cost gates
+                                            (CI's discovery check)
 
    Options (anywhere in argv):
    --no-simplify   disable SatELite-style CNF preprocessing in every SAT
@@ -66,6 +72,8 @@ let () =
   let socket = ref None in
   let repeat = ref 2 in
   let no_cache = List.mem "--no-cache" args in
+  let smoke = List.mem "--smoke" args in
+  let only = ref None in
   let rec strip = function
     | [] -> []
     | "-j" :: n :: rest -> (
@@ -73,6 +81,9 @@ let () =
       | Some n when n >= 1 -> jobs := n; strip rest
       | _ -> Printf.eprintf "-j expects a positive integer, got %S\n" n; exit 2)
     | "--json" :: path :: rest -> json := path; strip rest
+    | "--units" :: names :: rest ->
+      only := Some (String.split_on_char ',' names);
+      strip rest
     | "--socket" :: addr :: rest -> socket := Some addr; strip rest
     | "--repeat" :: n :: rest -> (
       match int_of_string_opt n with
@@ -83,7 +94,7 @@ let () =
       | Some n when n >= 1 -> jobs := n; strip rest
       | _ -> Printf.eprintf "bad option %S\n" a; exit 2)
     | ("--no-simplify" | "--no-verify" | "--certify" | "--reuse-sessions" | "--inprocess"
-      | "--no-cache")
+      | "--no-cache" | "--smoke")
       :: rest -> strip rest
     | a :: rest -> a :: strip rest
   in
@@ -112,6 +123,15 @@ let () =
   | "ablationD" -> Ablations.ablation_d ()
   | "ablationE" -> Ablations.ablation_e ()
   | "micro" -> Micro.run ()
+  | "discovery" ->
+    let json = if json = "BENCH_table1.json" then "BENCH_discovery.json" else json in
+    let units =
+      match !only with
+      | Some names -> List.map Gen.Suite.find names
+      | None -> if smoke then smoke_units else Gen.Suite.all
+    in
+    let failures = Discovery.run ~units ~json ~jobs ~gate:smoke () in
+    if failures > 0 then exit 1
   | "serve-stress" ->
     let json = if json = "BENCH_table1.json" then "BENCH_stress.json" else json in
     let failures =

@@ -65,11 +65,13 @@ let method_conv =
 (* The CLI funnels its instance arguments through the same validation
    layer the server uses ([Server.Request.resolve]), so a bad netlist or
    unknown unit gets the same one-line diagnostic on both paths. *)
-let source_of_args ~unit_name ~impl_file ~spec_file ~targets ~weights =
+let source_of_args ?(require_targets = true) ~unit_name ~impl_file ~spec_file ~targets ~weights
+    () =
   match (unit_name, impl_file, spec_file) with
   | Some u, None, None -> Server.Request.Unit_name u
   | None, Some impl_file, Some spec_file ->
-    if targets = [] then usage "--target required with --impl/--spec";
+    if targets = [] && require_targets then
+      usage "--target required with --impl/--spec (or pass --discover)";
     Server.Request.Inline
       {
         name = Filename.remove_extension (Filename.basename impl_file);
@@ -138,14 +140,40 @@ let solve_cmd =
   let inprocess =
     Arg.(value & flag & info [ "inprocess" ] ~doc:"With --reuse-sessions: run an inprocessing round (clause GC, learnt re-subsumption, vivification, XOR/Gauss, failed-literal probing, equivalent-literal substitution) on the session solver after each retarget; progress lands in the sat.inprocess.* counters.")
   in
+  let discover =
+    Arg.(value & flag & info [ "discover" ] ~doc:"Discover the target signals first by SAT-based diffing of the implementation against the specification ($(b,--target) becomes optional; any given targets are ignored), then solve for the discovered set.  The discovered targets are advisory: the solve re-establishes feasibility and the patch is verified as usual.")
+  in
   let run impl_file spec_file targets unit_name weights method_ structural out budget stats trace
-      no_simplify certify reuse_sessions inprocess =
+      no_simplify certify reuse_sessions inprocess discover =
     protect @@ fun () ->
     if no_simplify then Sat.Simplify.enabled := false;
     if budget < 0 then usage "--budget expects a non-negative conflict count";
     let instance =
-      resolve (source_of_args ~unit_name ~impl_file ~spec_file ~targets ~weights)
+      resolve
+        (source_of_args ~require_targets:(not discover) ~unit_name ~impl_file ~spec_file ~targets
+           ~weights ())
     in
+    let instance =
+      if not discover then instance
+      else begin
+        let d = Eco.Engine.discover_targets (Eco.Instance.with_targets instance []) in
+        Format.printf "discovery: %d mismatched / %d output(s); %d target(s), cost %d%s (%d candidates, %d iterations, %d checks, %.2fs)@."
+          (List.length d.Diff.Discover.mismatched)
+          (List.length d.Diff.Discover.mismatched + List.length d.Diff.Discover.anchored)
+          (List.length d.Diff.Discover.targets)
+          d.Diff.Discover.cost
+          (if d.Diff.Discover.minimum then " (minimum)" else "")
+          d.Diff.Discover.candidates d.Diff.Discover.iterations d.Diff.Discover.checks
+          d.Diff.Discover.time;
+        List.iter (fun t -> Format.printf "  target %s@." t) d.Diff.Discover.targets;
+        Eco.Instance.with_targets instance d.Diff.Discover.targets
+      end
+    in
+    if discover && instance.Eco.Instance.targets = [] then begin
+      Format.printf "netlists already equivalent; nothing to patch@.";
+      0
+    end
+    else begin
     let options =
       {
         Server.Request.default_options with
@@ -177,13 +205,15 @@ let solve_cmd =
     if stats then Format.printf "%a@." Telemetry.pp_summary ();
     let cert_failed = if certify then print_certification () else 0 in
     if cert_failed > 0 then fail "%d certification check(s) failed" cert_failed;
-    (match outcome.Eco.Engine.status with Eco.Engine.Solved -> () | _ -> fail "no patch");
-    0
+      (match outcome.Eco.Engine.status with Eco.Engine.Solved -> () | _ -> fail "no patch");
+      0
+    end
   in
   let term =
     Term.(
       const run $ impl_file $ spec_file $ targets $ unit_name $ weights $ method_ $ structural
-      $ out $ budget $ stats $ trace $ no_simplify $ certify $ reuse_sessions $ inprocess)
+      $ out $ budget $ stats $ trace $ no_simplify $ certify $ reuse_sessions $ inprocess
+      $ discover)
   in
   Cmd.v (Cmd.info "solve" ~doc:"Compute ECO patch functions for the given targets.") term
 
@@ -194,26 +224,34 @@ let gen_cmd =
     Arg.(required & opt (some string) None & info [ "unit"; "u" ] ~docv:"UNIT" ~doc:"Benchmark unit name (unit1 .. unit20).")
   in
   let dir = Arg.(value & opt string "." & info [ "dir"; "d" ] ~docv:"DIR" ~doc:"Output directory.") in
-  let run unit_name dir =
+  let no_targets =
+    Arg.(value & flag & info [ "no-targets" ] ~doc:"Withhold the planted target list: write impl.v, spec.v and weights.txt but no targets.txt, producing a blind instance for $(b,solve --discover) exercises.")
+  in
+  let run unit_name dir no_targets =
     protect @@ fun () ->
     match Gen.Suite.find unit_name with
     | exception Not_found -> usage "unknown unit %S" unit_name
     | spec ->
-      let inst = Gen.Suite.instantiate spec in
+      let inst =
+        if no_targets then fst (Gen.Suite.instantiate_blind spec)
+        else Gen.Suite.instantiate spec
+      in
       if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
       let p name = Filename.concat dir name in
       Netlist.Verilog.write_file (p "impl.v") ~name:"impl" inst.Eco.Instance.impl;
       Netlist.Verilog.write_file (p "spec.v") ~name:"spec" inst.Eco.Instance.spec;
       Netlist.Weights.write_file (p "weights.txt") inst.Eco.Instance.weights;
-      let oc = open_out (p "targets.txt") in
-      List.iter (fun t -> output_string oc (t ^ "\n")) inst.Eco.Instance.targets;
-      close_out oc;
+      if not no_targets then begin
+        let oc = open_out (p "targets.txt") in
+        List.iter (fun t -> output_string oc (t ^ "\n")) inst.Eco.Instance.targets;
+        close_out oc
+      end;
       Format.printf "%s: %a@.files written under %s@." unit_name Eco.Instance.pp inst dir;
       0
   in
   Cmd.v
     (Cmd.info "gen" ~doc:"Materialize a built-in benchmark unit as Verilog + weight files.")
-    Term.(const run $ unit_name $ dir)
+    Term.(const run $ unit_name $ dir $ no_targets)
 
 (* {2 batch} *)
 
@@ -466,8 +504,11 @@ let client_cmd =
   let shutdown_op =
     Arg.(value & flag & info [ "shutdown" ] ~doc:"Ask the server to drain in-flight jobs and exit.")
   in
+  let discover_op =
+    Arg.(value & flag & info [ "discover" ] ~doc:"Send a $(b,discover) request: the server diffs the implementation against the specification and returns the discovered target set ($(b,--target) becomes optional).")
+  in
   let run socket units unit_name impl_file spec_file targets weights method_ certify structural
-      budget no_cache deadline_ms stats_op shutdown_op =
+      budget no_cache deadline_ms stats_op shutdown_op discover_op =
     protect @@ fun () ->
     if budget < 0 then usage "--budget expects a non-negative conflict count";
     let address = parse_address socket in
@@ -484,13 +525,21 @@ let client_cmd =
     let request =
       if stats_op then Server.Request.Stats
       else if shutdown_op then Server.Request.Shutdown
+      else if discover_op then
+        Server.Request.Discover
+          {
+            Server.Request.source =
+              source_of_args ~require_targets:false ~unit_name ~impl_file ~spec_file ~targets
+                ~weights ();
+            options;
+          }
       else
         match units with
         | [] ->
           Server.Request.Solve
             {
               Server.Request.source =
-                source_of_args ~unit_name ~impl_file ~spec_file ~targets ~weights;
+                source_of_args ~unit_name ~impl_file ~spec_file ~targets ~weights ();
               options;
             }
         | us ->
@@ -503,25 +552,32 @@ let client_cmd =
     print_endline (Server.Jsonx.to_string resp);
     if Server.Client.is_ok resp then begin
       let member k j = Option.bind j (Server.Jsonx.member k) in
-      let solved row =
-        member "status" row |> Fun.flip Option.bind Server.Jsonx.to_str = Some "solved"
-      in
+      let str k row = member k row |> Fun.flip Option.bind Server.Jsonx.to_str in
+      (* A row only counts as a success if it solved AND its patch did not
+         fail verification ("-" means verification was skipped, which is
+         the caller's explicit choice and not a failure). *)
+      let solved row = str "status" row = Some "solved" && str "verified" row <> Some "no" in
       match request with
       | Server.Request.Solve _ ->
-        if solved (member "result" (Some resp)) then 0 else fail "no patch"
+        let result = member "result" (Some resp) in
+        if solved result then 0
+        else if str "status" result = Some "solved" then fail "patch failed verification"
+        else fail "no patch"
       | Server.Request.Batch _ ->
         let rows =
           member "result" (Some resp) |> member "rows"
           |> Fun.flip Option.bind Server.Jsonx.to_list
           |> Option.value ~default:[]
         in
+        (* Error rows have no "row" member, so they fail the [solved]
+           test too. *)
         let bad =
           List.length
             (List.filter (fun r -> not (solved (member "row" (Some r)))) rows)
         in
         if bad > 0 then fail "%d job(s) failed" bad;
         0
-      | Server.Request.Stats | Server.Request.Shutdown -> 0
+      | Server.Request.Discover _ | Server.Request.Stats | Server.Request.Shutdown -> 0
     end
     else begin
       match Server.Client.error_of resp with
@@ -538,7 +594,8 @@ let client_cmd =
        ~doc:"Send one request (solve, batch, stats or shutdown) to a running $(b,serve) instance and print the JSON response.")
     Term.(
       const run $ socket_arg $ units $ unit_name $ impl_file $ spec_file $ targets $ weights
-      $ method_ $ certify $ structural $ budget $ no_cache $ deadline_ms $ stats_op $ shutdown_op)
+      $ method_ $ certify $ structural $ budget $ no_cache $ deadline_ms $ stats_op $ shutdown_op
+      $ discover_op)
 
 (* {2 main} *)
 

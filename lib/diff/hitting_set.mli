@@ -1,6 +1,5 @@
-(** Alias of {!Diff.Hitting_set}, the exact minimum-weight hitting set by
-    branch-and-bound: the inner engine of {!Sat_prune}'s implicit-hitting-set
-    loop (and of the target-discovery MCS search that now owns the code). *)
+(** Exact minimum-weight hitting set by branch-and-bound: the inner engine
+    of {!Sat_prune}'s implicit-hitting-set loop. *)
 
 exception Node_limit
 (** Raised when the branch-and-bound exceeds its node cap. *)

@@ -498,3 +498,14 @@ let pp_outcome ppf o =
   Format.fprintf ppf "%s cost=%d gates=%d time=%.2fs structural=%b verified=%s" status o.cost
     o.gates o.time o.used_structural
     (match o.verified with Some true -> "yes" | Some false -> "NO" | None -> "-")
+
+(* {2 Target discovery} *)
+
+(* The diff front-end: ignores any targets the instance carries (they are
+   oracle data in benchmarks, absent in a real flow) and proposes a cut
+   set from the netlist pair alone.  The result is advisory — [solve] on
+   [Instance.with_targets] re-establishes feasibility and verifies as
+   usual, so an unsound proposal can lose quality but not correctness. *)
+let discover_targets ?config (inst : Instance.t) =
+  Diff.Discover.run ?config ~impl:inst.Instance.impl ~spec:inst.Instance.spec
+    ~weights:inst.Instance.weights ()

@@ -94,3 +94,12 @@ val solve : ?config:config -> ?window:Window.t -> Instance.t -> outcome
     patches are kept. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit
+
+val discover_targets : ?config:Diff.Discover.config -> Instance.t -> Diff.Discover.result
+(** Automatic target discovery by SAT-based netlist diffing
+    ({!Diff.Discover}): per-output equivalence anchoring over shared PIs
+    followed by a minimal-correction-set search with SAT rectifiability
+    checks.  Any targets the instance already carries are ignored; solve
+    the returned set via {!Instance.with_targets}.  Discovery is outside
+    the certification trust boundary — the engine re-checks feasibility
+    and verifies the patch as for planted targets. *)

@@ -12,7 +12,8 @@ let make ?(name = "eco") ~impl ~spec ~targets ~weights () =
     failwith "Instance.make: implementation and specification input sets differ";
   if sorted (Netlist.outputs impl) <> sorted (Netlist.outputs spec) then
     failwith "Instance.make: implementation and specification output sets differ";
-  if targets = [] then failwith "Instance.make: no targets";
+  (* [targets = []] is allowed: a "blind" instance carries only the
+     netlist pair and weights, and target discovery fills the list in. *)
   List.iter
     (fun t ->
       if not (Netlist.mem impl t) then failwith (Printf.sprintf "Instance.make: unknown target %s" t);
@@ -26,6 +27,9 @@ let make ?(name = "eco") ~impl ~spec ~targets ~weights () =
       Hashtbl.replace seen t ())
     targets;
   { name; impl; spec; targets; weights }
+
+let with_targets t targets =
+  make ~name:t.name ~impl:t.impl ~spec:t.spec ~targets ~weights:t.weights ()
 
 let pp ppf t =
   Format.fprintf ppf "%s: impl(%a) spec(%a) targets=[%s]" t.name Netlist.pp_stats t.impl

@@ -20,7 +20,12 @@ val make :
   t
 (** Validates that both netlists have identical input and output name sets
     and that every target names a non-input implementation node.
-    Raises [Failure] otherwise. *)
+    Raises [Failure] otherwise.  An empty target list is allowed — a
+    "blind" instance awaiting {!Engine.discover_targets} — but the solve
+    pipeline requires at least one target. *)
+
+val with_targets : t -> string list -> t
+(** Same instance with the target list replaced (re-validated). *)
 
 val pp : Format.formatter -> t -> unit
 

@@ -12,9 +12,15 @@ let compute (inst : Instance.t) =
   (* PIs feeding the affected outputs, on either side of the miter. *)
   let impl_pis = Netlist.support_of impl window_pos in
   let spec_pis = Netlist.support_of spec window_pos in
-  let window_pis = List.sort_uniq compare (impl_pis @ spec_pis) in
   let pi_set = Hashtbl.create 64 in
-  List.iter (fun p -> Hashtbl.replace pi_set p ()) window_pis;
+  List.iter (fun p -> Hashtbl.replace pi_set p ()) (impl_pis @ spec_pis);
+  (* Deterministic PI order: the implementation's input declaration order,
+     never either netlist's traversal order — discovery hands windowing
+     proposed (not planted) targets, and cache fingerprints and session
+     encodings must not depend on how the proposal was found.  Both sides
+     declare the same input set (Instance.make validates), so filtering
+     the implementation's list covers the union. *)
+  let window_pis = List.filter (Hashtbl.mem pi_set) (Netlist.inputs impl) in
   (* Candidate divisors: not in the targets' TFO (no combinational loop
      through the patch), not a constant, support within the window. *)
   let divisors =

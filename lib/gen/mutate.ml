@@ -13,10 +13,34 @@ let pick_targets ~rand netlist k =
         | _ -> true)
       (Netlist.topological_order netlist)
   in
-  if List.length gates < k then failwith "Mutate.pick_targets: not enough gates";
+  (* Usable target: reaches an output (and so leaves divisors visible). *)
+  let reaches_po =
+    let memo = Hashtbl.create 64 in
+    fun cand ->
+      match Hashtbl.find_opt memo cand with
+      | Some r -> r
+      | None ->
+        let tfo = Netlist.tfo netlist [ cand ] in
+        let r = List.exists (Hashtbl.mem tfo) (Netlist.outputs netlist) in
+        Hashtbl.replace memo cand r;
+        r
+  in
+  let eligible = List.filter reaches_po gates in
+  let avail = List.length eligible in
+  if avail = 0 && k > 0 then failwith "Mutate.pick_targets: no eligible target signals";
+  (* Clamp rather than loop or raise when asked for more targets than the
+     unit has eligible internal signals (small units under --no-targets
+     sweeps); the shortfall is recorded for telemetry. *)
+  let k =
+    if k > avail then begin
+      Telemetry.bump "gen.targets_clamped" (k - avail);
+      avail
+    end
+    else k
+  in
   let arr = Array.of_list gates in
   let n = Array.length arr in
-  let chosen = Hashtbl.create k in
+  let chosen = Hashtbl.create (max 1 k) in
   let guard = ref 0 in
   while Hashtbl.length chosen < k && !guard < 10_000 do
     incr guard;
@@ -27,14 +51,16 @@ let pick_targets ~rand netlist k =
       if Random.State.int rand 4 = 0 then arr.(Random.State.int rand n)
       else arr.(n - 1 - Random.State.int rand (max 1 (n / 4)))
     in
-    if not (Hashtbl.mem chosen cand) then begin
-      (* Usable target: reaches an output and leaves some divisor visible. *)
-      let tfo = Netlist.tfo netlist [ cand ] in
-      let reaches_po = List.exists (Hashtbl.mem tfo) (Netlist.outputs netlist) in
-      if reaches_po then Hashtbl.replace chosen cand ()
-    end
+    if (not (Hashtbl.mem chosen cand)) && reaches_po cand then Hashtbl.replace chosen cand ()
   done;
-  if Hashtbl.length chosen < k then failwith "Mutate.pick_targets: could not find targets";
+  (* The sampler is randomized; when it stalls against a nearly-exhausted
+     pool, complete deterministically from the latest eligible signals. *)
+  if Hashtbl.length chosen < k then
+    List.iter
+      (fun cand ->
+        if Hashtbl.length chosen < k && not (Hashtbl.mem chosen cand) then
+          Hashtbl.replace chosen cand ())
+      (List.rev eligible);
   List.filter (Hashtbl.mem chosen) (Netlist.topological_order netlist)
 
 (* Signals outside the targets' TFO: safe fanins for the replacement cones

@@ -25,7 +25,11 @@ val derive_spec :
 val pick_targets : rand:Random.State.t -> Netlist.t -> int -> string list
 (** Picks distinct internal gate nodes usable as rectification points
     (each reaches at least one output and leaves divisor candidates
-    outside its fanout). *)
+    outside its fanout).  A request exceeding the eligible-signal count is
+    clamped to the full eligible set — always terminating — with the
+    shortfall recorded under the [gen.targets_clamped] telemetry counter.
+    Raises [Failure] only when the netlist has no eligible signal at
+    all. *)
 
 val restructure : Netlist.t -> Netlist.t
 (** Structure-destroying resynthesis: netlist -> AIG -> netlist, keeping

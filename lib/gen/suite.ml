@@ -92,3 +92,7 @@ let instantiate spec =
   let impl = base_circuit spec in
   Mutate.make_instance ~name:spec.u_name ~style:spec.style ~dist:spec.dist ~seed:spec.seed
     ~n_targets:spec.n_targets impl
+
+let instantiate_blind spec =
+  let inst = instantiate spec in
+  (Eco.Instance.with_targets inst [], inst.Eco.Instance.targets)

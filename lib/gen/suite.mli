@@ -37,3 +37,9 @@ val base_circuit : unit_spec -> Netlist.t
 
 val instantiate : unit_spec -> Eco.Instance.t
 (** Deterministic: same spec gives the same instance. *)
+
+val instantiate_blind : unit_spec -> Eco.Instance.t * string list
+(** The --no-targets mode: the same deterministic instance with the
+    planted target list withheld (empty [targets]), plus the withheld
+    list itself so callers can score discovered sets against the
+    oracle. *)

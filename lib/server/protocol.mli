@@ -41,7 +41,7 @@ type error_code =
   | Bad_frame  (** framing violated (zero/oversized length); connection closes *)
   | Bad_json  (** payload is not a JSON document *)
   | Bad_version  (** missing or unsupported ["v"] *)
-  | Unknown_op  (** ["op"] missing or not one of solve/batch/stats/shutdown *)
+  | Unknown_op  (** ["op"] missing or not one of solve/batch/discover/stats/shutdown *)
   | Bad_request  (** schema or validation failure (bad netlist, unknown unit, …) *)
   | Deadline_expired  (** the request's [deadline_ms] elapsed before its job started *)
   | Shutting_down  (** server is draining; no new jobs are accepted *)

@@ -33,7 +33,12 @@ type source =
 
 type solve_spec = { source : source; options : options }
 
-type request = Solve of solve_spec | Batch of solve_spec list | Stats | Shutdown
+type request =
+  | Solve of solve_spec
+  | Batch of solve_spec list
+  | Discover of solve_spec
+  | Stats
+  | Shutdown
 
 type envelope = { id : Jsonx.t; deadline_ms : int option; request : request }
 
@@ -103,13 +108,17 @@ let parse_options obj =
     no_cache = get_bool obj "no_cache" ~default:false;
   }
 
-let parse_source obj =
+(* [targets_required] is relaxed for the [discover] op, whose whole point
+   is that the caller has no target list yet. *)
+let parse_source ?(targets_required = true) obj =
   match (get_str_opt obj "unit", get_str_opt obj "impl", get_str_opt obj "spec") with
   | Some u, None, None -> Unit_name u
   | None, Some impl, Some spec ->
     let targets =
       match Jsonx.member "targets" obj with
-      | None -> bad "inline instances require a non-empty \"targets\" array"
+      | None ->
+        if targets_required then bad "inline instances require a non-empty \"targets\" array"
+        else []
       | Some v -> (
         match Jsonx.to_list v with
         | None -> bad "field \"targets\" must be an array of strings"
@@ -121,13 +130,15 @@ let parse_source obj =
               | None -> bad "field \"targets\" must be an array of strings")
             xs)
     in
-    if targets = [] then bad "inline instances require a non-empty \"targets\" array";
+    if targets = [] && targets_required then
+      bad "inline instances require a non-empty \"targets\" array";
     let name = Option.value (get_str_opt obj "name") ~default:"request" in
     Inline { name; impl; spec; targets; weights = get_str_opt obj "weights" }
   | Some _, _, _ -> bad "pass either \"unit\" or both \"impl\" and \"spec\", not both"
   | _ -> bad "pass either \"unit\" or both \"impl\" and \"spec\""
 
-let parse_spec obj = { source = parse_source obj; options = parse_options obj }
+let parse_spec ?targets_required obj =
+  { source = parse_source ?targets_required obj; options = parse_options obj }
 
 type error = { err_id : Jsonx.t; code : Protocol.error_code; msg : string }
 
@@ -155,8 +166,9 @@ let parse payload =
           in
           let request =
             match get_str_opt json "op" with
-            | None -> raise (Bad_op "missing \"op\" field (solve|batch|stats|shutdown)")
+            | None -> raise (Bad_op "missing \"op\" field (solve|batch|discover|stats|shutdown)")
             | Some "solve" -> Solve (parse_spec json)
+            | Some "discover" -> Discover (parse_spec ~targets_required:false json)
             | Some "batch" -> (
               match Jsonx.member "jobs" json with
               | None -> bad "batch requests require a non-empty \"jobs\" array"
@@ -173,7 +185,9 @@ let parse payload =
             | Some "stats" -> Stats
             | Some "shutdown" -> Shutdown
             | Some op ->
-              raise (Bad_op (Printf.sprintf "unknown op %S (solve|batch|stats|shutdown)" op))
+              raise
+                (Bad_op
+                   (Printf.sprintf "unknown op %S (solve|batch|discover|stats|shutdown)" op))
           in
           Ok { id; deadline_ms; request }
         with
@@ -265,6 +279,22 @@ let render_outcome ~name (o : Eco.Engine.outcome) =
         ("patches", Jsonx.List (List.map patch o.Eco.Engine.patches));
       ])
 
+let render_discovery ~name (d : Diff.Discover.result) =
+  let strs l = Jsonx.List (List.map (fun s -> Jsonx.Str s) l) in
+  Jsonx.Obj
+    [
+      ("name", Jsonx.Str name);
+      ("targets", strs d.Diff.Discover.targets);
+      ("cost", Jsonx.Int d.Diff.Discover.cost);
+      ("anchored", strs d.Diff.Discover.anchored);
+      ("mismatched", strs d.Diff.Discover.mismatched);
+      ("candidates", Jsonx.Int d.Diff.Discover.candidates);
+      ("iterations", Jsonx.Int d.Diff.Discover.iterations);
+      ("checks", Jsonx.Int d.Diff.Discover.checks);
+      ("minimum", Jsonx.Bool d.Diff.Discover.minimum);
+      ("time", Jsonx.Float d.Diff.Discover.time);
+    ]
+
 let spec_to_json { source; options = o } =
   let source_fields =
     match source with
@@ -305,5 +335,9 @@ let to_json ?(id = Jsonx.Null) ?deadline_ms request =
     | Jsonx.Obj fields -> envelope "solve" fields
     | _ -> assert false)
   | Batch jobs -> envelope "batch" [ ("jobs", Jsonx.List (List.map spec_to_json jobs)) ]
+  | Discover spec -> (
+    match spec_to_json spec with
+    | Jsonx.Obj fields -> envelope "discover" fields
+    | _ -> assert false)
   | Stats -> envelope "stats" []
   | Shutdown -> envelope "shutdown" []

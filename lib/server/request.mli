@@ -41,7 +41,15 @@ type source =
 
 type solve_spec = { source : source; options : options }
 
-type request = Solve of solve_spec | Batch of solve_spec list | Stats | Shutdown
+type request =
+  | Solve of solve_spec
+  | Batch of solve_spec list
+  | Discover of solve_spec
+      (** target discovery: like [Solve] but the inline target list may
+          be empty — the server diffs [impl] against [spec] and returns
+          the discovered target set instead of a patch *)
+  | Stats
+  | Shutdown
 
 type envelope = {
   id : Jsonx.t;  (** echoed verbatim in the response; [Null] when absent *)
@@ -88,6 +96,12 @@ val render_outcome : name:string -> Eco.Engine.outcome -> Jsonx.t
     cost, gates, verification verdict, per-target patch summaries.
     Wall-clock time is deliberately {e not} part of it, so a cached
     replay is byte-identical to the original computation. *)
+
+val render_discovery : name:string -> Diff.Discover.result -> Jsonx.t
+(** The ["result"] object of a discover response: the discovered target
+    set with its cost, the anchored/mismatched output partition and the
+    search statistics.  Unlike {!render_outcome} it includes wall-clock
+    time — discovery results are advisory and never cached. *)
 
 val spec_to_json : solve_spec -> Jsonx.t
 (** Serialises a job back to its request form (used by the clients). *)

@@ -213,10 +213,24 @@ let execute t ~deadline (env : Request.envelope) =
     in
     let rows = List.map row specs in
     ok_raw ~id (Printf.sprintf "{\"rows\":[%s]}" (String.concat "," rows))
+  | Request.Discover spec ->
+    (* Discovery is advisory (the target set is re-validated by whatever
+       solve consumes it) and depends on nothing but the netlists, so it
+       runs outside the outcome cache. *)
+    if Deadline.expired deadline then
+      error_response ~id Protocol.Deadline_expired "deadline elapsed before the job started"
+    else (
+      match Request.resolve spec.Request.source with
+      | Error msg -> error_response ~id Protocol.Bad_request msg
+      | Ok inst -> (
+        try
+          let d = Eco.Engine.discover_targets inst in
+          ok ~id (Request.render_discovery ~name:inst.Eco.Instance.name d)
+        with e -> error_response ~id Protocol.Internal (Printexc.to_string e)))
 
 let process t ~deadline (env : Request.envelope) =
   match env.Request.request with
-  | (Request.Solve _ | Request.Batch _) when draining t ->
+  | (Request.Solve _ | Request.Batch _ | Request.Discover _) when draining t ->
     Telemetry.Counter.incr c_requests;
     error_response ~id:env.Request.id Protocol.Shutting_down
       "server is draining; no new jobs are accepted"
@@ -323,7 +337,7 @@ let serve t address =
       | Request.Stats | Request.Shutdown ->
         (* Cheap and state-touching: answered inline on the loop. *)
         conn_enqueue c (execute t ~deadline:Deadline.never env)
-      | Request.Solve _ | Request.Batch _ ->
+      | Request.Solve _ | Request.Batch _ | Request.Discover _ ->
         if draining t then
           conn_enqueue c
             (error_response ~id:env.Request.id Protocol.Shutting_down

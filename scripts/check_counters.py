@@ -72,6 +72,13 @@ INFO_PREFIXES = [
     # not solver effort.
     "server.",
     "cache.",
+    # Target discovery books its anchoring/search effort under diff.*;
+    # it only runs in the discovery bench, which gates outcome quality
+    # (status parity, cost delta vs oracle) itself.  gen.* counters
+    # (e.g. gen.targets_clamped) track suite-generation anomalies, not
+    # solver effort.
+    "diff.",
+    "gen.",
 ]
 
 ABS_SLACK = 16

@@ -98,6 +98,113 @@ let test_solve_success_exit_zero () =
   Alcotest.(check bool) "solve reports a result" true (String.trim out <> "");
   check_no_backtrace "successful solve" err
 
+(* {2 Client exit codes against a live server} *)
+
+let with_live_server f =
+  let dir = Filename.temp_file "eco-cli-srv" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let path = Filename.concat dir "eco.sock" in
+  let null = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  let pid =
+    Unix.create_process exe [| exe; "serve"; "--socket"; path; "-j"; "1" |] Unix.stdin null null
+  in
+  Unix.close null;
+  Fun.protect ~finally:(fun () ->
+      (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+      ignore (Unix.waitpid [] pid);
+      (try Sys.remove path with Sys_error _ -> ());
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  (* Wait for the server to come up. *)
+  let rec wait tries =
+    if tries = 0 then Alcotest.fail "server did not come up";
+    match Server.Client.connect (Server.Protocol.Unix_socket path) with
+    | c -> Server.Client.close c
+    | exception Unix.Unix_error _ ->
+      Unix.sleepf 0.1;
+      wait (tries - 1)
+  in
+  wait 100;
+  f path
+
+let test_client_batch_exit_codes () =
+  with_live_server @@ fun path ->
+  (* A healthy batch: every row solved and verified, exit 0. *)
+  let code, out, err = run [ "client"; "--socket"; path; "unit1"; "unit12" ] in
+  Alcotest.(check int) "healthy batch: exit 0" 0 code;
+  Alcotest.(check bool) "healthy batch: rows printed" true (String.trim out <> "");
+  check_no_backtrace "healthy batch" err;
+  (* A batch containing an unknown unit: the response is ok (per-row
+     errors), but the client must exit non-zero. *)
+  let code, _out, err = run [ "client"; "--socket"; path; "unit1"; "no_such_unit" ] in
+  Alcotest.(check int) "error row fails the batch: exit 1" 1 code;
+  Alcotest.(check bool) "error row: diagnostic printed" true (String.trim err <> "");
+  check_no_backtrace "error row" err;
+  (* The discover op round-trips. *)
+  let code, out, err = run [ "client"; "--socket"; path; "--discover"; "--unit"; "unit1" ] in
+  Alcotest.(check int) "discover: exit 0" 0 code;
+  Alcotest.(check bool) "discover: targets reported" true (String.trim out <> "");
+  check_no_backtrace "discover" err;
+  let code, _out, _err = run [ "client"; "--socket"; path; "--shutdown" ] in
+  Alcotest.(check int) "shutdown: exit 0" 0 code
+
+(* {2 Client exit codes against canned responses} *)
+
+(* A one-shot protocol server speaking from a script, for responses a
+   healthy server would not produce (here: a patch that failed its
+   verification, which must fail the client even though the row status
+   says "solved"). *)
+let with_canned_server result_raw f =
+  let dir = Filename.temp_file "eco-cli-can" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let path = Filename.concat dir "eco.sock" in
+  let srv = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind srv (Unix.ADDR_UNIX path);
+  Unix.listen srv 1;
+  match Unix.fork () with
+  | 0 ->
+    (try
+       let fd, _ = Unix.accept srv in
+       (match Server.Protocol.read_frame fd with
+       | Some _ ->
+         Server.Protocol.write_frame fd
+           (Server.Protocol.ok_response_raw ~id:Server.Jsonx.Null ~cached:false result_raw)
+       | None -> ());
+       Unix.close fd
+     with _ -> ());
+    Unix._exit 0
+  | pid ->
+    Unix.close srv;
+    Fun.protect ~finally:(fun () ->
+        (* The child exits on its own after one request; the kill only
+           matters when a failing check left it waiting in accept. *)
+        (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+        ignore (Unix.waitpid [] pid);
+        (try Sys.remove path with Sys_error _ -> ());
+        try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    @@ fun () -> f path
+
+let solved_unverified_row =
+  {|{"name":"unit1","status":"solved","cost":5,"gates":1,"verified":"no","structural":false,"sat_calls":3,"patches":[]}|}
+
+let test_client_solve_verified_no () =
+  with_canned_server solved_unverified_row @@ fun path ->
+  let code, _out, err = run [ "client"; "--socket"; path; "--unit"; "unit1" ] in
+  Alcotest.(check int) "solved but unverified: exit 1" 1 code;
+  Alcotest.(check bool) "mentions verification" true
+    (List.exists (fun l -> l = "eco-patch: patch failed verification") (lines err));
+  check_no_backtrace "solved but unverified" err
+
+let test_client_batch_verified_no () =
+  with_canned_server
+    (Printf.sprintf {|{"rows":[{"cached":false,"row":%s}]}|} solved_unverified_row)
+  @@ fun path ->
+  let code, _out, err = run [ "client"; "--socket"; path; "unit1"; "unit2" ] in
+  Alcotest.(check int) "unverified row fails the batch: exit 1" 1 code;
+  check_no_backtrace "unverified row" err
+
 let () =
   Alcotest.run "cli_errors"
     [
@@ -115,5 +222,11 @@ let () =
         [
           Alcotest.test_case "unreachable server" `Quick test_client_unreachable_server;
           Alcotest.test_case "success still exits 0" `Quick test_solve_success_exit_zero;
+        ] );
+      ( "client exit codes",
+        [
+          Alcotest.test_case "batch against live serve" `Slow test_client_batch_exit_codes;
+          Alcotest.test_case "solve verified:no" `Quick test_client_solve_verified_no;
+          Alcotest.test_case "batch verified:no" `Quick test_client_batch_verified_no;
         ] );
     ]

@@ -1,0 +1,187 @@
+(* Target discovery (lib/diff): anchoring, the MCS search, and the
+   discovery-quality regression on blind suite units — plus the window
+   PI-order determinism the discovery path relies on. *)
+
+let node name gate fanins = { Netlist.name; gate; fanins }
+
+let netlist nodes ~outputs = Netlist.create nodes ~outputs
+
+let two_gate_pair () =
+  (* impl: y = a AND b, z = a XOR b;  spec flips only y to OR. *)
+  let impl =
+    netlist
+      [
+        node "a" Netlist.Input [||];
+        node "b" Netlist.Input [||];
+        node "y" Netlist.And [| "a"; "b" |];
+        node "z" Netlist.Xor [| "a"; "b" |];
+      ]
+      ~outputs:[ "y"; "z" ]
+  in
+  let spec =
+    netlist
+      [
+        node "a" Netlist.Input [||];
+        node "b" Netlist.Input [||];
+        node "y" Netlist.Or [| "a"; "b" |];
+        node "z" Netlist.Xor [| "a"; "b" |];
+      ]
+      ~outputs:[ "y"; "z" ]
+  in
+  (impl, spec)
+
+let test_single_gate_change () =
+  let impl, spec = two_gate_pair () in
+  let weights = Netlist.Weights.uniform impl 1 in
+  let r = Diff.Discover.run ~impl ~spec ~weights () in
+  Alcotest.(check (list string)) "anchors the untouched output" [ "z" ] r.Diff.Discover.anchored;
+  Alcotest.(check (list string)) "mismatches the changed output" [ "y" ] r.Diff.Discover.mismatched;
+  Alcotest.(check (list string)) "cuts exactly the changed gate" [ "y" ] r.Diff.Discover.targets;
+  Alcotest.(check bool) "minimum" true r.Diff.Discover.minimum
+
+let test_already_equivalent () =
+  let impl, _ = two_gate_pair () in
+  let weights = Netlist.Weights.uniform impl 1 in
+  let r = Diff.Discover.run ~impl ~spec:impl ~weights () in
+  Alcotest.(check (list string)) "no targets needed" [] r.Diff.Discover.targets;
+  Alcotest.(check int) "all outputs anchored" 2 (List.length r.Diff.Discover.anchored)
+
+let test_deep_cut () =
+  (* impl: y = (a AND b) OR c through g;  spec changes the inner AND to
+     XOR — the minimum cut is the inner gate or anything above it, all of
+     weight 1, so discovery must return a singleton. *)
+  let impl =
+    netlist
+      [
+        node "a" Netlist.Input [||];
+        node "b" Netlist.Input [||];
+        node "c" Netlist.Input [||];
+        node "g" Netlist.And [| "a"; "b" |];
+        node "y" Netlist.Or [| "g"; "c" |];
+      ]
+      ~outputs:[ "y" ]
+  in
+  let spec =
+    netlist
+      [
+        node "a" Netlist.Input [||];
+        node "b" Netlist.Input [||];
+        node "c" Netlist.Input [||];
+        node "g" Netlist.Xor [| "a"; "b" |];
+        node "y" Netlist.Or [| "g"; "c" |];
+      ]
+      ~outputs:[ "y" ]
+  in
+  let weights = Netlist.Weights.uniform impl 1 in
+  let r = Diff.Discover.run ~impl ~spec ~weights () in
+  Alcotest.(check int) "singleton cut" 1 (List.length r.Diff.Discover.targets);
+  Alcotest.(check bool) "minimum" true r.Diff.Discover.minimum
+
+let test_weighted_cut () =
+  (* Same rewrite reachable through two cuts; the cheap one must win.
+     impl: g = a AND b (weight 9), y = NOT g (weight 1); spec negates the
+     cone — both {g} and {y} rectify, so the minimum-weight answer is
+     {y}. *)
+  let impl =
+    netlist
+      [
+        node "a" Netlist.Input [||];
+        node "b" Netlist.Input [||];
+        node "g" Netlist.And [| "a"; "b" |];
+        node "y" Netlist.Not [| "g" |];
+      ]
+      ~outputs:[ "y" ]
+  in
+  let spec =
+    netlist
+      [
+        node "a" Netlist.Input [||];
+        node "b" Netlist.Input [||];
+        node "g" Netlist.And [| "a"; "b" |];
+        node "y" Netlist.Buf [| "g" |];
+      ]
+      ~outputs:[ "y" ]
+  in
+  let weights = Netlist.Weights.of_string "g 9\ny 1\n" in
+  let r = Diff.Discover.run ~impl ~spec ~weights () in
+  Alcotest.(check (list string)) "cheapest cut wins" [ "y" ] r.Diff.Discover.targets;
+  Alcotest.(check int) "cost" 1 r.Diff.Discover.cost
+
+let suite_units names = List.map Gen.Suite.find names
+
+(* {2 Discovery-quality regression (fixed seeds, blind instances)} *)
+
+(* The smoke-suite acceptance bar: on every listed unit, discovery from
+   the blind instance must produce a rectifiable set — the engine reaches
+   Solved with the patch verified — and when the search stayed exact the
+   discovered set must cost no more than the planted one. *)
+let check_blind_unit (spec : Gen.Suite.unit_spec) =
+  let blind, planted = Gen.Suite.instantiate_blind spec in
+  Alcotest.(check (list string)) (spec.Gen.Suite.u_name ^ ": blind") [] blind.Eco.Instance.targets;
+  let d = Eco.Engine.discover_targets blind in
+  Alcotest.(check bool)
+    (spec.Gen.Suite.u_name ^ ": discovered a target set")
+    true
+    (d.Diff.Discover.targets <> []);
+  let planted_cost = Netlist.Weights.total blind.Eco.Instance.weights planted in
+  if d.Diff.Discover.minimum then
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: planted-or-cheaper (%d <= %d)" spec.Gen.Suite.u_name
+         d.Diff.Discover.cost planted_cost)
+      true
+      (d.Diff.Discover.cost <= planted_cost);
+  let solved = Eco.Instance.with_targets blind d.Diff.Discover.targets in
+  let outcome = Eco.Engine.solve solved in
+  Alcotest.(check bool)
+    (spec.Gen.Suite.u_name ^ ": engine solves the discovered set")
+    true
+    (outcome.Eco.Engine.status = Eco.Engine.Solved);
+  Alcotest.(check (option bool))
+    (spec.Gen.Suite.u_name ^ ": patch verified")
+    (Some true) outcome.Eco.Engine.verified
+
+let test_blind_suite () =
+  List.iter check_blind_unit (suite_units [ "unit1"; "unit3"; "unit8"; "unit12" ])
+
+(* {2 Window determinism} *)
+
+let reorder_nodes netlist_t =
+  (* Same netlist, nodes declared in reverse (non-topological) order;
+     [Netlist.create] accepts any order. *)
+  Netlist.create (List.rev (Netlist.nodes netlist_t)) ~outputs:(Netlist.outputs netlist_t)
+
+let test_window_pi_order () =
+  let inst = Gen.Suite.instantiate (Gen.Suite.find "unit5") in
+  let w = Eco.Window.compute inst in
+  (* window_pis follows the implementation's PI declaration order ... *)
+  let expected =
+    let keep = Hashtbl.create 16 in
+    List.iter (fun p -> Hashtbl.replace keep p ()) w.Eco.Window.window_pis;
+    List.filter (Hashtbl.mem keep) (Netlist.inputs inst.Eco.Instance.impl)
+  in
+  Alcotest.(check (list string)) "PI declaration order" expected w.Eco.Window.window_pis;
+  (* ... and is invariant under the spec netlist's traversal order. *)
+  let inst' =
+    Eco.Instance.make ~name:"reordered" ~impl:inst.Eco.Instance.impl
+      ~spec:(reorder_nodes inst.Eco.Instance.spec)
+      ~targets:inst.Eco.Instance.targets ~weights:inst.Eco.Instance.weights ()
+  in
+  let w' = Eco.Window.compute inst' in
+  Alcotest.(check (list string))
+    "invariant under spec traversal order" w.Eco.Window.window_pis w'.Eco.Window.window_pis;
+  Alcotest.(check (list string))
+    "window outputs unchanged" w.Eco.Window.window_pos w'.Eco.Window.window_pos
+
+let () =
+  Alcotest.run "diff"
+    [
+      ( "discover",
+        [
+          Alcotest.test_case "single gate change" `Quick test_single_gate_change;
+          Alcotest.test_case "already equivalent" `Quick test_already_equivalent;
+          Alcotest.test_case "deep cut" `Quick test_deep_cut;
+          Alcotest.test_case "weighted cut" `Quick test_weighted_cut;
+        ] );
+      ("blind suite", [ Alcotest.test_case "fixed seeds" `Slow test_blind_suite ]);
+      ("window", [ Alcotest.test_case "PI order determinism" `Quick test_window_pi_order ]);
+    ]

@@ -190,6 +190,47 @@ let test_pick_targets_properties () =
         (Netlist.outputs_reached_by impl [ t ] <> []))
     targets
 
+let test_pick_targets_clamp () =
+  (* Two eligible gates only: asking for more must clamp to the full
+     eligible set (recording the shortfall in gen.targets_clamped), not
+     spin forever or raise. *)
+  let impl =
+    Netlist.create
+      [
+        { Netlist.name = "a"; gate = Netlist.Input; fanins = [||] };
+        { Netlist.name = "b"; gate = Netlist.Input; fanins = [||] };
+        { Netlist.name = "g"; gate = Netlist.And; fanins = [| "a"; "b" |] };
+        { Netlist.name = "y"; gate = Netlist.Not; fanins = [| "g" |] };
+      ]
+      ~outputs:[ "y" ]
+  in
+  let clamped () =
+    match List.assoc_opt "gen.targets_clamped" (Telemetry.snapshot ()) with
+    | Some v -> v
+    | None -> 0
+  in
+  let before = clamped () in
+  let rand = Random.State.make [| 7 |] in
+  let targets = Gen.Mutate.pick_targets ~rand impl 5 in
+  Alcotest.(check (list string)) "clamped to the eligible set" [ "g"; "y" ] targets;
+  Alcotest.(check int) "shortfall recorded" (before + 3) (clamped ());
+  (* Exact requests stay exact and leave the counter alone. *)
+  let exact = Gen.Mutate.pick_targets ~rand:(Random.State.make [| 7 |]) impl 2 in
+  Alcotest.(check int) "exact request" 2 (List.length exact);
+  Alcotest.(check int) "no extra bump" (before + 3) (clamped ());
+  (* No eligible signal at all is still an error. *)
+  Alcotest.check_raises "no eligible signals"
+    (Failure "Mutate.pick_targets: no eligible target signals") (fun () ->
+      let inputs_only =
+        Netlist.create
+          [
+            { Netlist.name = "a"; gate = Netlist.Input; fanins = [||] };
+            { Netlist.name = "g"; gate = Netlist.And; fanins = [| "a"; "a" |] };
+          ]
+          ~outputs:[ "a" ]
+      in
+      ignore (Gen.Mutate.pick_targets ~rand:(Random.State.make [| 7 |]) inputs_only 1))
+
 let test_suite_well_formed () =
   Alcotest.(check int) "twenty units" 20 (List.length Gen.Suite.all);
   List.iteri
@@ -237,6 +278,7 @@ let () =
             test_restructure_preserves_function;
           Alcotest.test_case "derive_spec interface" `Quick test_derive_spec_changes_function;
           Alcotest.test_case "pick_targets" `Quick test_pick_targets_properties;
+          Alcotest.test_case "pick_targets clamp" `Quick test_pick_targets_clamp;
         ] );
       ( "suite",
         [

@@ -78,8 +78,10 @@ let test_instance_validation () =
   Alcotest.(check bool) "duplicate target" true
     (fails_failure (fun () ->
          ignore (Eco.Instance.make ~impl ~spec ~targets:[ "y"; "y" ] ~weights:w ())));
-  Alcotest.(check bool) "no targets" true
-    (fails_failure (fun () -> ignore (Eco.Instance.make ~impl ~spec ~targets:[] ~weights:w ())))
+  (* An empty target list is no longer a validation failure: it denotes a
+     blind instance whose targets are to be discovered (lib/diff). *)
+  let blind = Eco.Instance.make ~impl ~spec ~targets:[] ~weights:w () in
+  Alcotest.(check (list string)) "no targets = blind instance" [] blind.Eco.Instance.targets
 
 let test_patch_validation () =
   let m = Aig.create () in
