@@ -32,6 +32,11 @@
    --inprocess     with --reuse-sessions: run an inprocessing round on each
                    session solver after every retarget (sat.inprocess.*
                    counters)
+   --exact-synth   SAT-exact resynthesis of committed patches (≤ 6 support
+                   inputs); commit-time only — statuses and costs are
+                   identical with the flag on or off, gates/depth drop
+   --rewrite       DAG-aware cut rewriting of patch circuits exact
+                   synthesis cannot reach
    --json FILE     write the Table 1 telemetry JSON here
                    (default BENCH_table1.json)
 
@@ -65,6 +70,8 @@ let () =
   let certify = List.mem "--certify" args in
   let reuse = List.mem "--reuse-sessions" args in
   let inprocess = List.mem "--inprocess" args in
+  let exact_synth = List.mem "--exact-synth" args in
+  let rewrite = List.mem "--rewrite" args in
   (* Consume "-j N" / "--json FILE" pairs (and "-jN"), leaving the
      experiment name. *)
   let jobs = ref 1 in
@@ -94,7 +101,7 @@ let () =
       | Some n when n >= 1 -> jobs := n; strip rest
       | _ -> Printf.eprintf "bad option %S\n" a; exit 2)
     | ("--no-simplify" | "--no-verify" | "--certify" | "--reuse-sessions" | "--inprocess"
-      | "--no-cache" | "--smoke")
+      | "--no-cache" | "--smoke" | "--exact-synth" | "--rewrite")
       :: rest -> strip rest
     | a :: rest -> a :: strip rest
   in
@@ -102,7 +109,7 @@ let () =
   let jobs = !jobs in
   let json = !json in
   let table1 units =
-    ignore (Table1.run ~units ~json ~jobs ~verify ~certify ~reuse ~inprocess ());
+    ignore (Table1.run ~units ~json ~jobs ~verify ~certify ~reuse ~inprocess ~exact_synth ~rewrite ());
     if certify then begin
       let snap = Telemetry.snapshot () in
       let get n = match List.assoc_opt n snap with Some v -> v | None -> 0 in

@@ -4,6 +4,12 @@
    for all methods, which is why their baseline and min_assume columns are
    identical); only the Exact configuration applies CEGAR_min to them. *)
 
+(* One solved unit x configuration outcome.  [depth] is the maximum
+   structural depth over the unit's patches — it rides along with [gates]
+   so the synthesis flags (--exact-synth/--rewrite) regress on both axes
+   of the α·gates + β·depth cost. *)
+type res = { cost : int; gates : int; depth : int; time : float; verified : bool option }
+
 type row = {
   unit_name : string;
   pis : int;
@@ -11,7 +17,7 @@ type row = {
   gates_impl : int;
   gates_spec : int;
   n_targets : int;
-  results : (int * int * float) option array; (* cost, patch gates, seconds *)
+  results : res option array;
   counters : Telemetry.snapshot array;
       (* per-method solver-effort counter deltas (sat.*, eco.*, qbf.*, ...) *)
 }
@@ -20,9 +26,9 @@ let methods = [| Eco.Engine.Baseline; Eco.Engine.Min_assume; Eco.Engine.Exact |]
 let method_names = [| "w/o minimize_assumptions"; "w/ minimize_assumptions"; "SAT_prune+CEGAR_min" |]
 
 let config_for ?(verify = true) ?(certify = false) ?(reuse = false) ?(inprocess = false)
-    (spec : Gen.Suite.unit_spec) method_ =
+    ?(exact_synth = false) ?(rewrite = false) (spec : Gen.Suite.unit_spec) method_ =
   let c = Eco.Engine.config_of_method method_ in
-  let c = { c with Eco.Engine.certify; reuse_sessions = reuse; inprocess } in
+  let c = { c with Eco.Engine.certify; reuse_sessions = reuse; inprocess; exact_synth; rewrite } in
   let c = if verify then c else { c with Eco.Engine.verify = false } in
   if spec.Gen.Suite.structural then
     (* Structural units stand in for the paper's SAT timeouts: keep their
@@ -36,7 +42,8 @@ let config_for ?(verify = true) ?(certify = false) ?(reuse = false) ?(inprocess 
    unit's solver effort to its row even while other units run concurrently
    (and in a sequential run the diffs coincide with global-snapshot
    diffs). *)
-let run_unit ?(progress = true) ?verify ?certify ?reuse ?inprocess (spec : Gen.Suite.unit_spec) =
+let run_unit ?(progress = true) ?verify ?certify ?reuse ?inprocess ?exact_synth ?rewrite
+    (spec : Gen.Suite.unit_spec) =
   let inst = Gen.Suite.instantiate spec in
   let counters = Array.make (Array.length methods) [] in
   let results =
@@ -48,12 +55,12 @@ let run_unit ?(progress = true) ?verify ?certify ?reuse ?inprocess (spec : Gen.S
             | Eco.Engine.Baseline -> "baseline"
             | Eco.Engine.Min_assume -> "min_assume"
             | Eco.Engine.Exact -> "exact");
-        let config = config_for ?verify ?certify ?reuse ?inprocess spec m in
+        let config = config_for ?verify ?certify ?reuse ?inprocess ?exact_synth ?rewrite spec m in
         let before = Telemetry.local_snapshot () in
         let outcome =
           match Eco.Engine.solve ~config inst with
-          | { Eco.Engine.status = Eco.Engine.Solved; cost; gates; time; _ } ->
-            Some (cost, gates, time)
+          | { Eco.Engine.status = Eco.Engine.Solved; cost; gates; depth; time; verified; _ } ->
+            Some { cost; gates; depth; time; verified }
           | _ -> None
           | exception e ->
             Printf.eprintf "  %s: %s\n%!" spec.Gen.Suite.u_name (Printexc.to_string e);
@@ -82,19 +89,20 @@ let geomean l =
 let print_rows rows =
   Printf.printf "%-79s\n" (String.make 79 '-');
   Printf.printf "%-7s %5s %5s %7s %7s %4s" "unit" "#PI" "#PO" "#g(F)" "#g(S)" "#tgt";
-  Array.iter (fun _ -> Printf.printf " | %7s %7s %8s" "cost" "#g(pch)" "time(s)") methods;
+  Array.iter (fun _ -> Printf.printf " | %7s %7s %5s %8s" "cost" "#g(pch)" "dep" "time(s)") methods;
   print_newline ();
   Printf.printf "%s\n"
     (String.concat " | "
-       (Printf.sprintf "%40s" "" :: Array.to_list (Array.map (Printf.sprintf "%-24s") method_names)));
+       (Printf.sprintf "%40s" "" :: Array.to_list (Array.map (Printf.sprintf "%-30s") method_names)));
   List.iter
     (fun r ->
       Printf.printf "%-7s %5d %5d %7d %7d %4d" r.unit_name r.pis r.pos r.gates_impl r.gates_spec
         r.n_targets;
       Array.iter
         (function
-          | Some (cost, gates, time) -> Printf.printf " | %7d %7d %8.2f" cost gates time
-          | None -> Printf.printf " | %7s %7s %8s" "-" "-" "-")
+          | Some { cost; gates; depth; time; _ } ->
+            Printf.printf " | %7d %7d %5d %8.2f" cost gates depth time
+          | None -> Printf.printf " | %7s %7s %5s %8s" "-" "-" "-" "-")
         r.results;
       print_newline ())
     rows;
@@ -103,9 +111,11 @@ let print_rows rows =
     List.filter_map
       (fun r ->
         match (r.results.(0), select r) with
-        | Some (c0, g0, t0), Some (c, g, t) ->
+        | Some r0, Some ri ->
           let safe x = float_of_int (max 1 x) in
-          Some (safe c /. safe c0, safe g /. safe g0, max 0.001 t /. max 0.001 t0)
+          Some
+            (safe ri.cost /. safe r0.cost, safe ri.gates /. safe r0.gates,
+             max 0.001 ri.time /. max 0.001 r0.time)
         | _ -> None)
       rows
   in
@@ -116,7 +126,7 @@ let print_rows rows =
       let c = geomean (List.map (fun (c, _, _) -> c) rs) in
       let g = geomean (List.map (fun (_, g, _) -> g) rs) in
       let t = geomean (List.map (fun (_, _, t) -> t) rs) in
-      Printf.printf " | %7.2f %7.2f %7.2fx" c g t)
+      Printf.printf " | %7.2f %7.2f %5s %7.2fx" c g "" t)
     methods;
   print_newline ()
 
@@ -142,8 +152,11 @@ let write_json path rows =
             method_keys.(mi) r.pis r.pos r.gates_impl;
           out "\"gates_spec\":%d,\"targets\":%d," r.gates_spec r.n_targets;
           (match r.results.(mi) with
-          | Some (cost, gates, time) ->
-            out "\"solved\":true,\"cost\":%d,\"gates\":%d,\"time\":%.6f," cost gates time
+          | Some { cost; gates; depth; time; verified } ->
+            out "\"solved\":true,\"cost\":%d,\"gates\":%d,\"depth\":%d,\"time\":%.6f," cost gates
+              depth time;
+            out "\"verified\":%s,"
+              (match verified with Some true -> "true" | Some false -> "false" | None -> "null")
           | None -> out "\"solved\":false,");
           out "\"counters\":{%s}}"
             (String.concat ","
@@ -173,14 +186,14 @@ let failed_row (spec : Gen.Suite.unit_spec) exn =
   }
 
 let run ?(units = Gen.Suite.all) ?(json = "BENCH_table1.json") ?(jobs = 1) ?verify ?certify
-    ?reuse ?inprocess () =
+    ?reuse ?inprocess ?exact_synth ?rewrite () =
   Printf.printf "\n=== Table 1: ICCAD'17-style suite, three configurations ===\n";
   if jobs > 1 then Printf.eprintf "  (parallel sweep: %d worker domains)\n%!" jobs;
   let rows =
     List.map2
       (fun spec -> function Ok row -> row | Error e -> failed_row spec e)
       units
-      (Pool.map ~jobs (run_unit ?verify ?certify ?reuse ?inprocess) units)
+      (Pool.map ~jobs (run_unit ?verify ?certify ?reuse ?inprocess ?exact_synth ?rewrite) units)
   in
   print_rows rows;
   write_json json rows;

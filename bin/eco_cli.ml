@@ -143,11 +143,26 @@ let solve_cmd =
   let discover =
     Arg.(value & flag & info [ "discover" ] ~doc:"Discover the target signals first by SAT-based diffing of the implementation against the specification ($(b,--target) becomes optional; any given targets are ignored), then solve for the discovered set.  The discovered targets are advisory: the solve re-establishes feasibility and the patch is verified as usual.")
   in
+  let exact_synth =
+    Arg.(value & flag & info [ "exact-synth" ] ~doc:"Resynthesize every committed patch with at most 6 support inputs by SAT-exact synthesis: minimum AND count under the factored circuit's depth as a hard bound, BDD-verified against the patch SOP before replacing it.  Statuses, costs and SAT trajectories are unchanged; only the reported patch circuits shrink.  Effort lands in the synth.* counters.")
+  in
+  let rewrite =
+    Arg.(value & flag & info [ "rewrite" ] ~doc:"DAG-aware 4-input-cut rewriting of patch circuits exact synthesis cannot reach (wider support, or budget-out), under the weighted $(b,--gate-weight)/$(b,--depth-weight) cost.  Same commit-time-only, Pareto-guarded, BDD-verified discipline as $(b,--exact-synth).")
+  in
+  let gate_weight =
+    Arg.(value & opt int 4 & info [ "gate-weight" ] ~docv:"N" ~doc:"α of the rewrite acceptance cost α·gates + β·depth (default 4).")
+  in
+  let depth_weight =
+    Arg.(value & opt int 1 & info [ "depth-weight" ] ~docv:"N" ~doc:"β of the rewrite acceptance cost α·gates + β·depth (default 1).")
+  in
   let run impl_file spec_file targets unit_name weights method_ structural out budget stats trace
-      no_simplify certify reuse_sessions inprocess discover =
+      no_simplify certify reuse_sessions inprocess discover exact_synth rewrite gate_weight
+      depth_weight =
     protect @@ fun () ->
     if no_simplify then Sat.Simplify.enabled := false;
     if budget < 0 then usage "--budget expects a non-negative conflict count";
+    if gate_weight < 0 || depth_weight < 0 then
+      usage "--gate-weight/--depth-weight expect non-negative weights";
     let instance =
       resolve
         (source_of_args ~require_targets:(not discover) ~unit_name ~impl_file ~spec_file ~targets
@@ -183,6 +198,10 @@ let solve_cmd =
         inprocess;
         structural;
         budget;
+        exact_synth;
+        rewrite;
+        gate_weight;
+        depth_weight;
       }
     in
     let config = Server.Request.config_of_options options in
@@ -213,7 +232,7 @@ let solve_cmd =
     Term.(
       const run $ impl_file $ spec_file $ targets $ unit_name $ weights $ method_ $ structural
       $ out $ budget $ stats $ trace $ no_simplify $ certify $ reuse_sessions $ inprocess
-      $ discover)
+      $ discover $ exact_synth $ rewrite $ gate_weight $ depth_weight)
   in
   Cmd.v (Cmd.info "solve" ~doc:"Compute ECO patch functions for the given targets.") term
 
@@ -283,10 +302,25 @@ let batch_cmd =
   let inprocess =
     Arg.(value & flag & info [ "inprocess" ] ~doc:"With --reuse-sessions: inprocess each unit's session solver after every retarget (sat.inprocess.* counters).")
   in
-  let run units jobs method_ no_verify no_simplify stats certify reuse_sessions inprocess =
+  let exact_synth =
+    Arg.(value & flag & info [ "exact-synth" ] ~doc:"SAT-exact resynthesis of committed patches with at most 6 support inputs (commit-time only; statuses and costs are unchanged).")
+  in
+  let rewrite =
+    Arg.(value & flag & info [ "rewrite" ] ~doc:"DAG-aware 4-input-cut rewriting of patch circuits exact synthesis cannot reach.")
+  in
+  let gate_weight =
+    Arg.(value & opt int 4 & info [ "gate-weight" ] ~docv:"N" ~doc:"α of the rewrite acceptance cost α·gates + β·depth (default 4).")
+  in
+  let depth_weight =
+    Arg.(value & opt int 1 & info [ "depth-weight" ] ~docv:"N" ~doc:"β of the rewrite acceptance cost α·gates + β·depth (default 1).")
+  in
+  let run units jobs method_ no_verify no_simplify stats certify reuse_sessions inprocess
+      exact_synth rewrite gate_weight depth_weight =
     protect @@ fun () ->
     if no_simplify then Sat.Simplify.enabled := false;
     if jobs < 1 then usage "-j expects a positive worker count";
+    if gate_weight < 0 || depth_weight < 0 then
+      usage "--gate-weight/--depth-weight expect non-negative weights";
     let specs =
       match units with
       | [] -> Gen.Suite.all
@@ -300,7 +334,18 @@ let batch_cmd =
     in
     let config_for (spec : Gen.Suite.unit_spec) =
       let c = Eco.Engine.config_of_method method_ in
-      let c = { c with Eco.Engine.certify; reuse_sessions; inprocess } in
+      let c =
+        {
+          c with
+          Eco.Engine.certify;
+          reuse_sessions;
+          inprocess;
+          exact_synth;
+          rewrite;
+          synth_gate_weight = gate_weight;
+          synth_depth_weight = depth_weight;
+        }
+      in
       let c = if no_verify then { c with Eco.Engine.verify = false } else c in
       if spec.Gen.Suite.structural then
         { c with Eco.Engine.force_structural = true; use_qbf = false; verify_budget = 10_000 }
@@ -350,7 +395,7 @@ let batch_cmd =
   in
   Cmd.v
     (Cmd.info "batch" ~doc:"Solve a list of benchmark units, optionally in parallel over worker domains.")
-    Term.(const run $ units $ jobs $ method_ $ no_verify $ no_simplify $ stats $ certify $ reuse_sessions $ inprocess)
+    Term.(const run $ units $ jobs $ method_ $ no_verify $ no_simplify $ stats $ certify $ reuse_sessions $ inprocess $ exact_synth $ rewrite $ gate_weight $ depth_weight)
 
 (* {2 suite} *)
 
@@ -495,6 +540,18 @@ let client_cmd =
   let no_cache =
     Arg.(value & flag & info [ "no-cache" ] ~doc:"Ask the server to bypass its outcome cache for this job.")
   in
+  let exact_synth =
+    Arg.(value & flag & info [ "exact-synth" ] ~doc:"Ask for SAT-exact resynthesis of committed patches with at most 6 support inputs.")
+  in
+  let rewrite =
+    Arg.(value & flag & info [ "rewrite" ] ~doc:"Ask for DAG-aware cut rewriting of patch circuits exact synthesis cannot reach.")
+  in
+  let gate_weight =
+    Arg.(value & opt int 4 & info [ "gate-weight" ] ~docv:"N" ~doc:"α of the rewrite acceptance cost α·gates + β·depth (default 4).")
+  in
+  let depth_weight =
+    Arg.(value & opt int 1 & info [ "depth-weight" ] ~docv:"N" ~doc:"β of the rewrite acceptance cost α·gates + β·depth (default 1).")
+  in
   let deadline_ms =
     Arg.(value & opt (some int) None & info [ "deadline-ms" ] ~docv:"MS" ~doc:"Fail the request with $(b,deadline_expired) if its job cannot start within $(docv) milliseconds.")
   in
@@ -508,9 +565,12 @@ let client_cmd =
     Arg.(value & flag & info [ "discover" ] ~doc:"Send a $(b,discover) request: the server diffs the implementation against the specification and returns the discovered target set ($(b,--target) becomes optional).")
   in
   let run socket units unit_name impl_file spec_file targets weights method_ certify structural
-      budget no_cache deadline_ms stats_op shutdown_op discover_op =
+      budget no_cache exact_synth rewrite gate_weight depth_weight deadline_ms stats_op
+      shutdown_op discover_op =
     protect @@ fun () ->
     if budget < 0 then usage "--budget expects a non-negative conflict count";
+    if gate_weight < 0 || depth_weight < 0 then
+      usage "--gate-weight/--depth-weight expect non-negative weights";
     let address = parse_address socket in
     let options =
       {
@@ -520,6 +580,10 @@ let client_cmd =
         structural;
         budget;
         no_cache;
+        exact_synth;
+        rewrite;
+        gate_weight;
+        depth_weight;
       }
     in
     let request =
@@ -594,8 +658,8 @@ let client_cmd =
        ~doc:"Send one request (solve, batch, stats or shutdown) to a running $(b,serve) instance and print the JSON response.")
     Term.(
       const run $ socket_arg $ units $ unit_name $ impl_file $ spec_file $ targets $ weights
-      $ method_ $ certify $ structural $ budget $ no_cache $ deadline_ms $ stats_op $ shutdown_op
-      $ discover_op)
+      $ method_ $ certify $ structural $ budget $ no_cache $ exact_synth $ rewrite $ gate_weight
+      $ depth_weight $ deadline_ms $ stats_op $ shutdown_op $ discover_op)
 
 (* {2 main} *)
 

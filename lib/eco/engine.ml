@@ -17,6 +17,10 @@ type config = {
   patch_deadline : float; (* seconds per target for cube enumeration *)
   reuse_sessions : bool; (* one incremental SAT session per unit *)
   inprocess : bool; (* inprocess the session's solver between targets *)
+  exact_synth : bool; (* SAT-exact resynthesis of small patch functions *)
+  rewrite : bool; (* DAG-aware cut rewriting of larger patch circuits *)
+  synth_gate_weight : int; (* alpha of the rewrite cost alpha*gates + beta*depth *)
+  synth_depth_weight : int; (* beta of the rewrite cost *)
 }
 
 let config_of_method m =
@@ -37,6 +41,19 @@ let config_of_method m =
     patch_deadline = 60.0;
     reuse_sessions = false;
     inprocess = false;
+    exact_synth = false;
+    rewrite = false;
+    synth_gate_weight = 4;
+    synth_depth_weight = 1;
+  }
+
+let synth_opts_of config =
+  {
+    Patch.default_synth_opts with
+    Patch.exact = config.exact_synth;
+    rewrite = config.rewrite;
+    gate_weight = config.synth_gate_weight;
+    depth_weight = config.synth_depth_weight;
   }
 
 let default_config = config_of_method Min_assume
@@ -48,6 +65,7 @@ type outcome = {
   patches : Patch.t list;
   cost : int;
   gates : int;
+  depth : int;
   time : float;
   verified : bool option;
   used_structural : bool;
@@ -78,6 +96,7 @@ let union_cost ?weights patches =
   Hashtbl.fold (fun _ c acc -> acc + c) tbl 0
 
 let total_gates patches = List.fold_left (fun acc p -> acc + p.Patch.gates) 0 patches
+let max_depth patches = List.fold_left (fun acc p -> max acc p.Patch.depth) 0 patches
 
 type feasibility =
   | Feasible of bool array list option  (* 2QBF certificate when available *)
@@ -233,8 +252,8 @@ let sat_pipeline config (miter : Miter.t) notes sat_calls acc =
           match
             Telemetry.with_phase "patch_fun" @@ fun () ->
             Patch_fun.compute ~budget ~certify:config.certify ~max_cubes:config.max_cubes
-              ~deadline:config.patch_deadline ?session miter ~m_i ~target:name
-              ~chosen:sel.Support.indices
+              ~deadline:config.patch_deadline ~synth:(synth_opts_of config) ?session miter
+              ~m_i ~target:name ~chosen:sel.Support.indices
           with
           | pf -> pf
           | exception Patch_fun.Exhausted partial ->
@@ -250,7 +269,10 @@ let sat_pipeline config (miter : Miter.t) notes sat_calls acc =
         let support_lits =
           List.map (fun i -> miter.Miter.divisors.(i).Miter.div_lit) sel.Support.indices
         in
-        let lit = Patch.import_into pf.Patch_fun.patch miter.Miter.mgr ~support_lits in
+        (* Substitute the raw factored circuit, commit the (equivalent)
+           improved one: later targets and verification then see the same
+           miter whether or not resynthesis is enabled. *)
+        let lit = Patch.import_into pf.Patch_fun.raw_patch miter.Miter.mgr ~support_lits in
         Miter.substitute_patch miter ~target:name lit;
         acc :=
           {
@@ -266,7 +288,7 @@ let sat_pipeline config (miter : Miter.t) notes sat_calls acc =
     (Miter.remaining_targets miter)
 
 (* Structural fallback (§3.6) for every remaining target. *)
-let structural_pipeline config (miter : Miter.t) window certificate notes =
+let structural_pipeline config (miter : Miter.t) window certificate notes ~deadline =
   Telemetry.with_phase "structural" @@ fun () ->
   let remaining = Miter.remaining_targets miter in
   let k = List.length remaining in
@@ -329,30 +351,36 @@ let structural_pipeline config (miter : Miter.t) window certificate notes =
   (* Resynthesis (SAT sweeping) after the support decisions: shrinks the
      reported gate counts without touching costs. *)
   let patches =
-    if config.sweep_patches then List.map Patch.sweep patches else patches
+    if config.sweep_patches then List.map (Patch.sweep ~deadline) patches else patches
   in
-  List.map
-    (fun p ->
-      Telemetry.Counter.incr tc_structural;
-      let support_lits =
-        List.map
-          (fun (name, _) ->
-            match List.assoc_opt name miter.Miter.x_inputs with
-            | Some l -> l
-            | None -> (
-              match
-                Array.find_opt (fun d -> d.Miter.div_name = name) miter.Miter.divisors
-              with
-              | Some d -> d.Miter.div_lit
-              | None -> failwith ("structural: support signal not found: " ^ name)))
-          p.Patch.support
-      in
-      let lit = Patch.import_into p miter.Miter.mgr ~support_lits in
-      Miter.substitute_patch miter ~target:p.Patch.target lit;
-      p)
-    patches
+  let patches =
+    List.map
+      (fun p ->
+        Telemetry.Counter.incr tc_structural;
+        let support_lits =
+          List.map
+            (fun (name, _) ->
+              match List.assoc_opt name miter.Miter.x_inputs with
+              | Some l -> l
+              | None -> (
+                match
+                  Array.find_opt (fun d -> d.Miter.div_name = name) miter.Miter.divisors
+                with
+                | Some d -> d.Miter.div_lit
+                | None -> failwith ("structural: support signal not found: " ^ name)))
+            p.Patch.support
+        in
+        let lit = Patch.import_into p miter.Miter.mgr ~support_lits in
+        Miter.substitute_patch miter ~target:p.Patch.target lit;
+        p)
+      patches
+  in
+  (* Resynthesis at commit time only: the swept circuit was substituted
+     above, so the miter-side verification problem is independent of the
+     synth flags; the committed patches carry the improved circuits. *)
+  List.map (Patch.improve ~deadline (synth_opts_of config)) patches
 
-let solve ?(config = default_config) ?window inst =
+let solve ?(config = default_config) ?(deadline = Deadline.never) ?window inst =
   Telemetry.with_phase "eco" @@ fun () ->
   Telemetry.Counter.incr tc_runs;
   let t0 = Unix.gettimeofday () in
@@ -420,6 +448,7 @@ let solve ?(config = default_config) ?window inst =
           ("patches", Telemetry.Value.Int (List.length patches));
           ("cost", Telemetry.Value.Int (union_cost ~weights:inst.Instance.weights patches));
           ("gates", Telemetry.Value.Int (total_gates patches));
+          ("depth", Telemetry.Value.Int (max_depth patches));
           ("sat_calls", Telemetry.Value.Int !sat_calls);
           ("structural", Telemetry.Value.Bool used_structural);
           ( "verified",
@@ -431,6 +460,7 @@ let solve ?(config = default_config) ?window inst =
       patches;
       cost = union_cost ~weights:inst.Instance.weights patches;
       gates = total_gates patches;
+      depth = max_depth patches;
       time = Unix.gettimeofday () -. t0;
       verified;
       used_structural;
@@ -446,7 +476,7 @@ let solve ?(config = default_config) ?window inst =
     in
     let miter = Telemetry.with_phase "miter" (fun () -> Miter.build inst window) in
     if config.force_structural then begin
-      let patches = structural_pipeline config miter window None notes in
+      let patches = structural_pipeline config miter window None notes ~deadline in
       finish ~miter Solved patches true
     end
     else begin
@@ -454,7 +484,7 @@ let solve ?(config = default_config) ?window inst =
       | Not_feasible -> finish Infeasible [] false
       | Feasibility_unknown ->
         (* §3.2: assume a solution exists and derive a structural patch. *)
-        let patches = structural_pipeline config miter window None notes in
+        let patches = structural_pipeline config miter window None notes ~deadline in
         finish ~miter Solved patches true
       | Feasible certificate -> (
         try
@@ -464,7 +494,7 @@ let solve ?(config = default_config) ?window inst =
         | Min_assume.Budget_exhausted ->
           (* SAT timed out mid-flight: already-substituted patches stay;
              the remaining targets get structural patches. *)
-          let structural = structural_pipeline config miter window certificate notes in
+          let structural = structural_pipeline config miter window certificate notes ~deadline in
           finish ~miter Solved (commit_steps !acc @ structural) true
         | Step_infeasible _ ->
           (* The unit is feasible (checked above) but the raising target
@@ -475,7 +505,7 @@ let solve ?(config = default_config) ?window inst =
              discarded proven-feasible work; route it to the structural
              fallback like a timeout, keeping the finished patches. *)
           notes := ("step_infeasible", 1) :: !notes;
-          let structural = structural_pipeline config miter window certificate notes in
+          let structural = structural_pipeline config miter window certificate notes ~deadline in
           finish ~miter Solved (commit_steps !acc @ structural) true)
     end
   with
@@ -495,8 +525,8 @@ let pp_outcome ppf o =
     | Infeasible -> "infeasible"
     | Failed m -> "failed: " ^ m
   in
-  Format.fprintf ppf "%s cost=%d gates=%d time=%.2fs structural=%b verified=%s" status o.cost
-    o.gates o.time o.used_structural
+  Format.fprintf ppf "%s cost=%d gates=%d depth=%d time=%.2fs structural=%b verified=%s" status
+    o.cost o.gates o.depth o.time o.used_structural
     (match o.verified with Some true -> "yes" | Some false -> "NO" | None -> "-")
 
 (* {2 Target discovery} *)

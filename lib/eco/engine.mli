@@ -58,6 +58,24 @@ type config = {
           unchanged (all derivations are implied clauses); propagation and
           conflict counts drop.  Progress lands in the [sat.inprocess.*]
           telemetry counters.  No effect without [reuse_sessions]. *)
+  exact_synth : bool;
+      (** resynthesize every committed patch with ≤ 6 support inputs by
+          SAT-exact synthesis ({!Synth.Exact}), run with the factored
+          circuit's depth as a hard bound so gates strictly drop and depth
+          never grows.  The improved circuit is BDD-verified against the
+          patch SOP before it replaces the factored one, and only the
+          {e reported} patch changes — the miter always receives the
+          factored circuit, so statuses, costs and SAT trajectories are
+          identical with the flag on or off. *)
+  rewrite : bool;
+      (** DAG-aware 4-input-cut rewriting ({!Synth.Rewrite}) for patches
+          exact synthesis cannot reach (> 6 inputs, or budget-out).  Same
+          commit-time-only, Pareto-guarded, BDD-verified discipline as
+          [exact_synth]. *)
+  synth_gate_weight : int;
+      (** α of the rewrite acceptance cost [α·gates + β·depth] *)
+  synth_depth_weight : int;
+      (** β of the rewrite acceptance cost *)
 }
 
 val config_of_method : method_ -> config
@@ -77,6 +95,7 @@ type outcome = {
   patches : Patch.t list;
   cost : int;  (** total weight of the distinct support signals *)
   gates : int;  (** total patch AND-gates *)
+  depth : int;  (** maximum structural depth over the patches *)
   time : float;  (** wall-clock seconds *)
   verified : bool option;
   used_structural : bool;
@@ -85,8 +104,14 @@ type outcome = {
       (** auxiliary counters: cubes, 2QBF iterations, miter copies, … *)
 }
 
-val solve : ?config:config -> ?window:Window.t -> Instance.t -> outcome
-(** [?window] overrides the computed rectification window — for callers
+val solve :
+  ?config:config -> ?deadline:Deadline.t -> ?window:Window.t -> Instance.t -> outcome
+(** [?deadline] is the unit's remaining wall-clock budget (default
+    {!Deadline.never}): deadline-clamped phases (patch sweeping,
+    resynthesis) stop at whichever of their own cap or this deadline
+    comes first, so a nearly-expired unit cannot overshoot inside them.
+
+    [?window] overrides the computed rectification window — for callers
     that restrict the divisor candidates (tests, external windowing).  A
     target with no patch function over the window's divisors after earlier
     substitutions no longer fails the unit when feasibility was

@@ -8,6 +8,7 @@ type t = {
   circuit : Aig.t;
       (** standalone single-output AIG; input [i] is [List.nth support i] *)
   gates : int;  (** AND nodes of the factored patch circuit *)
+  depth : int;  (** structural level of the patch output *)
   sop : Twolevel.Sop.t option;
       (** the prime irredundant cover, when computed by cube enumeration *)
 }
@@ -17,7 +18,7 @@ val cost : t -> int
 val make :
   ?sop:Twolevel.Sop.t -> target:string -> support:(string * int) list -> Aig.t -> t
 (** Validates that the circuit has one output and an input per support
-    entry; computes the gate count. *)
+    entry; computes the gate count and depth. *)
 
 val of_expr :
   ?sop:Twolevel.Sop.t ->
@@ -35,6 +36,35 @@ val eval : t -> bool array -> bool
 
 val pp : Format.formatter -> t -> unit
 
-val sweep : t -> t
+val sweep : ?deadline:Deadline.t -> t -> t
 (** SAT-sweeps the patch circuit ({!Aig.Fraig}), merging functionally
-    equivalent internal nodes; support and input order are preserved. *)
+    equivalent internal nodes; support and input order are preserved.
+    The sweep's own 5-second cap is clamped to whatever remains of
+    [deadline] (default {!Deadline.never}); an already-expired deadline
+    skips the sweep entirely.  Sweep effort is booked under the
+    [eco.sweep.*] counters. *)
+
+(** {2 Resynthesis} *)
+
+type synth_opts = {
+  exact : bool;  (** SAT-exact synthesis for patches with ≤ 6 support inputs *)
+  rewrite : bool;  (** DAG-aware cut rewriting for larger patches *)
+  gate_weight : int;  (** α of the [α·gates + β·depth] rewrite cost *)
+  depth_weight : int;  (** β of the [α·gates + β·depth] rewrite cost *)
+  budget : int;  (** conflict budget per synthesis SAT call *)
+}
+
+val default_synth_opts : synth_opts
+(** Both passes off; [gate_weight = 4], [depth_weight = 1],
+    [budget = 5_000] — the ABC-like default of trading up to four
+    levels for one gate. *)
+
+val improve : ?deadline:Deadline.t -> synth_opts -> t -> t
+(** [improve opts p] re-synthesizes the patch circuit: exact synthesis
+    when the support fits in 6 inputs (run with [p]'s depth as a hard
+    bound), DAG-aware rewriting otherwise.  The result replaces [p]'s
+    circuit only when it Pareto-improves [(gates, depth)] {e and} a BDD
+    equivalence check against the patch SOP (or, failing that, the old
+    circuit) passes; on any doubt — budget exhaustion, verification
+    mismatch, support too wide to verify — [p] is returned unchanged.
+    Support, cost and SOP metadata are preserved. *)

@@ -1,5 +1,6 @@
 type result = {
   patch : Patch.t;
+  raw_patch : Patch.t;
   cubes_enumerated : int;
   sat_calls : int;
 }
@@ -49,7 +50,7 @@ let index_table lits =
     | Some i -> i
     | None -> invalid_arg "Patch_fun: unknown literal"
 
-let enumerate ~max_cubes ~stop_at ~k ~support ~target (ops : ops) =
+let enumerate ~max_cubes ~stop_at ~synth ~k ~support ~target (ops : ops) =
   let cubes = ref [] in
   let n_cubes = ref 0 in
   let tautology = ref false in
@@ -110,11 +111,15 @@ let enumerate ~max_cubes ~stop_at ~k ~support ~target (ops : ops) =
       else Twolevel.Sop.scc_minimize (Twolevel.Sop.create k (List.rev !cubes))
     in
     let expr = Twolevel.Factor.factor sop in
-    let patch = Patch.of_expr ~sop ~target ~support expr in
+    let raw_patch = Patch.of_expr ~sop ~target ~support expr in
+    (* Resynthesis happens after the certification-relevant work: the
+       improved circuit is BDD-verified against the SOP inside
+       [Patch.improve] and never substituted into the miter. *)
+    let patch = Patch.improve ~deadline:stop_at synth raw_patch in
     Telemetry.Counter.incr tc_runs;
     Telemetry.Counter.add tc_cubes !n_cubes;
     Telemetry.Counter.add tc_sat_calls (ops.op_calls ());
-    { patch; cubes_enumerated = !n_cubes; sat_calls = ops.op_calls () }
+    { patch; raw_patch; cubes_enumerated = !n_cubes; sat_calls = ops.op_calls () }
   with Min_assume.Budget_exhausted -> give_up ()
 
 let tc_vars = Telemetry.Counter.make "session.vars_encoded"
@@ -211,8 +216,8 @@ let session_ops ~budget tc ~chosen =
     op_calls = (fun () -> Two_copy.solver_calls tc - calls0);
   }
 
-let compute ?(budget = 0) ?(certify = false) ?(max_cubes = 50_000) ?(deadline = 0.0) ?session
-    (miter : Miter.t) ~m_i ~target ~chosen =
+let compute ?(budget = 0) ?(certify = false) ?(max_cubes = 50_000) ?(deadline = 0.0)
+    ?(synth = Patch.default_synth_opts) ?session (miter : Miter.t) ~m_i ~target ~chosen =
   let stop_at = Deadline.after deadline in
   let divisors = Array.of_list (List.map (fun i -> miter.Miter.divisors.(i)) chosen) in
   let support =
@@ -224,4 +229,4 @@ let compute ?(budget = 0) ?(certify = false) ?(max_cubes = 50_000) ?(deadline = 
     | Some tc -> session_ops ~budget tc ~chosen
     | None -> legacy_ops ~budget ~certify miter ~m_i ~target ~divisors
   in
-  enumerate ~max_cubes ~stop_at ~k ~support ~target ops
+  enumerate ~max_cubes ~stop_at ~synth ~k ~support ~target ops

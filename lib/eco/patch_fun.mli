@@ -9,7 +9,13 @@
     general interpolation needed. *)
 
 type result = {
-  patch : Patch.t;
+  patch : Patch.t;  (** the patch to commit — resynthesized when [synth] asks *)
+  raw_patch : Patch.t;
+      (** the factored patch exactly as enumerated.  Substituting this one
+          into the miter keeps every downstream CDCL trajectory (later
+          targets, verification) independent of the resynthesis flags;
+          [patch] and [raw_patch] are verified equivalent before they
+          diverge, so either is sound to substitute. *)
   cubes_enumerated : int;
   sat_calls : int;
 }
@@ -29,6 +35,7 @@ val compute :
   ?certify:bool ->
   ?max_cubes:int ->
   ?deadline:float ->
+  ?synth:Patch.synth_opts ->
   ?session:Two_copy.t ->
   Miter.t ->
   m_i:Aig.lit ->
@@ -41,6 +48,11 @@ val compute :
     inconsistency and raises [Failure].  Raises {!Exhausted} (with the
     partial effort counts) on conflict-budget timeout, cube-cap overflow,
     or when [deadline] (wall-clock seconds, see {!Deadline}) passes.
+
+    With [?synth] ({!Patch.synth_opts}), the factored patch is additionally
+    run through {!Patch.improve} (exact synthesis / DAG-aware rewriting)
+    under the same deadline; the improved circuit is returned as [patch]
+    and the original as [raw_patch].  Without it the two fields are equal.
 
     With [~certify:true], every accepted prime's offset-UNSAT core and the
     terminating onset-UNSAT verdict are independently certified (see

@@ -65,10 +65,12 @@ let canon_weights w =
   |> String.concat "\n"
 
 let options_canon (o : Request.options) =
-  Printf.sprintf "method=%s;certify=%b;reuse=%b;inprocess=%b;structural=%b;verify=%b;budget=%d"
+  Printf.sprintf
+    "method=%s;certify=%b;reuse=%b;inprocess=%b;structural=%b;verify=%b;budget=%d;exact=%b;rewrite=%b;gw=%d;dw=%d"
     (Request.method_name o.Request.method_)
     o.Request.certify o.Request.reuse_sessions o.Request.inprocess o.Request.structural
-    o.Request.verify o.Request.budget
+    o.Request.verify o.Request.budget o.Request.exact_synth o.Request.rewrite
+    o.Request.gate_weight o.Request.depth_weight
 
 let netlist_side h nl ~targets =
   let conv = Netlist.Convert.to_aig nl in

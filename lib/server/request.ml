@@ -6,6 +6,10 @@ type options = {
   structural : bool;
   verify : bool;
   budget : int;
+  exact_synth : bool;
+  rewrite : bool;
+  gate_weight : int;
+  depth_weight : int;
   no_cache : bool;
 }
 
@@ -18,6 +22,10 @@ let default_options =
     structural = false;
     verify = true;
     budget = 0;
+    exact_synth = false;
+    rewrite = false;
+    gate_weight = 4;
+    depth_weight = 1;
     no_cache = false;
   }
 
@@ -97,6 +105,12 @@ let parse_options obj =
     | Some b when b >= 0 -> b
     | Some b -> bad "field \"budget\" must be non-negative, got %d" b
   in
+  let get_weight key ~default =
+    match get_int_opt obj key with
+    | None -> default
+    | Some w when w >= 0 -> w
+    | Some w -> bad "field %S must be non-negative, got %d" key w
+  in
   {
     method_;
     certify = get_bool obj "certify" ~default:false;
@@ -105,6 +119,10 @@ let parse_options obj =
     structural = get_bool obj "structural" ~default:false;
     verify = get_bool obj "verify" ~default:true;
     budget;
+    exact_synth = get_bool obj "exact_synth" ~default:false;
+    rewrite = get_bool obj "rewrite" ~default:false;
+    gate_weight = get_weight "gate_weight" ~default:default_options.gate_weight;
+    depth_weight = get_weight "depth_weight" ~default:default_options.depth_weight;
     no_cache = get_bool obj "no_cache" ~default:false;
   }
 
@@ -228,6 +246,10 @@ let config_of_options o =
       reuse_sessions = o.reuse_sessions;
       inprocess = o.inprocess;
       verify = o.verify;
+      exact_synth = o.exact_synth;
+      rewrite = o.rewrite;
+      synth_gate_weight = o.gate_weight;
+      synth_depth_weight = o.depth_weight;
     }
   in
   let c =
@@ -258,6 +280,7 @@ let render_outcome ~name (o : Eco.Engine.outcome) =
                  Jsonx.Obj [ ("signal", Jsonx.Str s); ("cost", Jsonx.Int w) ])
                p.Eco.Patch.support) );
         ("gates", Jsonx.Int p.Eco.Patch.gates);
+        ("depth", Jsonx.Int p.Eco.Patch.depth);
       ]
   in
   Jsonx.Obj
@@ -269,6 +292,7 @@ let render_outcome ~name (o : Eco.Engine.outcome) =
     @ [
         ("cost", Jsonx.Int o.Eco.Engine.cost);
         ("gates", Jsonx.Int o.Eco.Engine.gates);
+        ("depth", Jsonx.Int o.Eco.Engine.depth);
         ( "verified",
           match o.Eco.Engine.verified with
           | Some true -> Jsonx.Str "yes"
@@ -318,6 +342,14 @@ let spec_to_json { source; options = o } =
     @ flag "structural" o.structural
     @ (if o.verify then [] else [ ("verify", Jsonx.Bool false) ])
     @ (if o.budget > 0 then [ ("budget", Jsonx.Int o.budget) ] else [])
+    @ flag "exact_synth" o.exact_synth
+    @ flag "rewrite" o.rewrite
+    @ (if o.gate_weight <> default_options.gate_weight then
+         [ ("gate_weight", Jsonx.Int o.gate_weight) ]
+       else [])
+    @ (if o.depth_weight <> default_options.depth_weight then
+         [ ("depth_weight", Jsonx.Int o.depth_weight) ]
+       else [])
     @ flag "no_cache" o.no_cache)
 
 let to_json ?(id = Jsonx.Null) ?deadline_ms request =

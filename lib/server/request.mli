@@ -21,6 +21,10 @@ type options = {
           does for suite units flagged structural *)
   verify : bool;
   budget : int;  (** conflicts per SAT call; 0 = library default *)
+  exact_synth : bool;  (** SAT-exact resynthesis of ≤ 6-input patches *)
+  rewrite : bool;  (** DAG-aware cut rewriting of larger patches *)
+  gate_weight : int;  (** α of the rewrite cost [α·gates + β·depth] *)
+  depth_weight : int;  (** β of the rewrite cost *)
   no_cache : bool;  (** bypass the server's outcome cache for this job *)
 }
 

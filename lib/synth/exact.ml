@@ -1,0 +1,224 @@
+type solution = { aig : Aig.t; gates : int; depth : int }
+
+let tc_runs = Telemetry.Counter.make "synth.exact.runs"
+let tc_sat_calls = Telemetry.Counter.make "synth.exact.sat_calls"
+let tc_found = Telemetry.Counter.make "synth.exact.found"
+let tc_fallbacks = Telemetry.Counter.make "synth.exact.fallbacks"
+
+let sat_calls () = Telemetry.Counter.value tc_sat_calls
+
+(* A fanin candidate of gate [g]: object index (inputs are [0..k-1],
+   gates [k..k+g-1]) plus a complementation flag. *)
+type fanin = { idx : int; compl_ : bool }
+
+type selection = { s_var : int; f0 : fanin; f1 : fanin }
+
+(* One size-N instance: selection + value (+ level) variables and the
+   clauses tying them to the truth table. *)
+let encode solver (tt : Tt.t) n ~depth_bound =
+  let k = tt.Tt.k in
+  let rows = 1 lsl k in
+  let pos v = Sat.Lit.make v in
+  let neg v = Sat.Lit.make_neg v in
+  let add = Sat.Solver.add_clause solver in
+  (* values.(g).(t): value of gate g on row t. *)
+  let values = Array.init n (fun _ -> Array.init rows (fun _ -> Sat.Solver.new_var solver)) in
+  (* Row value of a fanin: [Const b] for inputs, a literal for gates. *)
+  let fanin_value f t =
+    if f.idx < k then `Const ((t lsr f.idx) land 1 = 1 <> f.compl_)
+    else `Lit (Sat.Lit.apply_sign (pos values.(f.idx - k).(t)) f.compl_)
+  in
+  let selections =
+    Array.init n (fun g ->
+      let objs = k + g in
+      let sels = ref [] in
+      for j = 0 to objs - 1 do
+        for l = j + 1 to objs - 1 do
+          List.iter
+            (fun (a, b) ->
+              sels :=
+                {
+                  s_var = Sat.Solver.new_var solver;
+                  f0 = { idx = j; compl_ = a };
+                  f1 = { idx = l; compl_ = b };
+                }
+                :: !sels)
+            [ (false, false); (false, true); (true, false); (true, true) ]
+        done
+      done;
+      List.rev !sels)
+  in
+  (* Each gate picks at least one fanin assignment; two active picks must
+     agree with the shared value column, so no at-most-one is needed. *)
+  Array.iter (fun sels -> add (List.map (fun s -> pos s.s_var) sels)) selections;
+  (* Selection semantics: s -> (v_g,t <-> f0_t /\ f1_t), constants folded. *)
+  Array.iteri
+    (fun g sels ->
+      List.iter
+        (fun s ->
+          for t = 0 to rows - 1 do
+            let gv = values.(g).(t) in
+            let a = fanin_value s.f0 t and b = fanin_value s.f1 t in
+            let forward f =
+              (* s /\ v -> f *)
+              match f with
+              | `Const true -> ()
+              | `Const false -> add [ neg s.s_var; neg gv ]
+              | `Lit l -> add [ neg s.s_var; neg gv; l ]
+            in
+            forward a;
+            forward b;
+            (* s /\ f0 /\ f1 -> v *)
+            let back = [ neg s.s_var; pos gv ] in
+            let extend acc f =
+              match (acc, f) with
+              | None, _ -> None
+              | Some _, `Const false -> None (* antecedent false: tautology *)
+              | Some c, `Const true -> Some c
+              | Some c, `Lit l -> Some (Sat.Lit.neg l :: c)
+            in
+            match extend (extend (Some back) a) b with
+            | Some c -> add c
+            | None -> ()
+          done)
+        sels)
+    selections;
+  (* Output: last gate equals the table under a free polarity. *)
+  let op = Sat.Solver.new_var solver in
+  for t = 0 to rows - 1 do
+    let v = values.(n - 1).(t) in
+    if Tt.eval tt t then begin
+      add [ pos v; pos op ];
+      add [ neg v; neg op ]
+    end
+    else begin
+      add [ neg v; pos op ];
+      add [ pos v; neg op ]
+    end
+  done;
+  (* Unary level tracking under a depth bound: lv_(g,d) = "level <= d". *)
+  (match depth_bound with
+  | None -> ()
+  | Some d_max ->
+    let lv = Array.init n (fun _ -> Array.init d_max (fun _ -> Sat.Solver.new_var solver)) in
+    let lv_le g d = lv.(g).(d - 1) in
+    for g = 0 to n - 1 do
+      for d = 1 to d_max - 1 do
+        add [ neg (lv_le g d); pos (lv_le g (d + 1)) ]
+      done;
+      List.iter
+        (fun s ->
+          List.iter
+            (fun f ->
+              if f.idx >= k then begin
+                let gj = f.idx - k in
+                add [ neg s.s_var; neg (lv_le g 1) ];
+                for d = 2 to d_max do
+                  add [ neg s.s_var; neg (lv_le g d); pos (lv_le gj (d - 1)) ]
+                done
+              end)
+            [ s.f0; s.f1 ])
+        selections.(g)
+    done;
+    add [ pos (lv_le (n - 1) d_max) ]);
+  (* Decoder: first model-active selection per gate reconstructs the
+     circuit; every active selection agrees with the value column, so the
+     choice is immaterial. *)
+  fun () ->
+    let m = Aig.create () in
+    let inputs = Aig.add_inputs m k in
+    let node = Array.make (k + n) Aig.false_ in
+    Array.iteri (fun i l -> node.(i) <- l) inputs;
+    for g = 0 to n - 1 do
+      let s =
+        match List.find_opt (fun s -> Sat.Solver.value solver (pos s.s_var)) selections.(g) with
+        | Some s -> s
+        | None -> failwith "Synth.Exact: no active selection in model"
+      in
+      let lit f = if f.compl_ then Aig.not_ node.(f.idx) else node.(f.idx) in
+      node.(k + g) <- Aig.and_ m (lit s.f0) (lit s.f1)
+    done;
+    let out = if Sat.Solver.value solver (pos op) then Aig.not_ node.(k + n - 1) else node.(k + n - 1) in
+    ignore (Aig.add_output m out);
+    m
+
+let trivial tt =
+  let k = tt.Tt.k in
+  let emit lit_of =
+    let m = Aig.create () in
+    let inputs = Aig.add_inputs m k in
+    ignore (Aig.add_output m (lit_of inputs));
+    Some { aig = m; gates = 0; depth = 0 }
+  in
+  match Tt.is_const tt with
+  | Some b -> emit (fun _ -> if b then Aig.true_ else Aig.false_)
+  | None -> (
+    match Tt.as_var tt with
+    | Some (i, phase) -> emit (fun inputs -> if phase then inputs.(i) else Aig.not_ inputs.(i))
+    | None -> None)
+
+let solution_of_aig m =
+  let out = Aig.output m 0 in
+  { aig = m; gates = Aig.count_cone_ands m [ out ]; depth = Aig.lit_level m out }
+
+(* One SAT attempt at a fixed size/depth; distinguishes "no such circuit"
+   from "ran out of budget or clock". *)
+let attempt ~budget ~deadline tt n ~depth_bound =
+  if Deadline.expired deadline then `Out_of_budget
+  else begin
+    let solver = Sat.Solver.create () in
+    let decode = encode solver tt n ~depth_bound in
+    if budget > 0 then Sat.Solver.set_budget solver budget;
+    let r = Sat.Solver.solve solver in
+    Telemetry.Counter.incr tc_sat_calls;
+    match r with
+    | Sat.Solver.Sat ->
+      let m = decode () in
+      (* Defensive re-simulation: a decoding bug must surface as a
+         fallback, never as a wrong circuit. *)
+      if Tt.equal (Tt.of_aig m (Aig.output m 0)) tt then `Solution (solution_of_aig m)
+      else `Out_of_budget
+    | Sat.Solver.Unsat -> `Unsat
+    | Sat.Solver.Unknown -> `Out_of_budget
+  end
+
+let synthesize ?(budget = 20_000) ?(max_gates = 10) ?depth_bound
+    ?(deadline = Deadline.never) ?(refine_depth = true) tt =
+  Telemetry.Counter.incr tc_runs;
+  match trivial tt with
+  | Some s -> Some s
+  | None ->
+    (* Each AND gate merges at most two connected components of the
+       support, so [|support| - 1] gates is a hard lower bound. *)
+    let lb = max 1 (List.length (Tt.support tt) - 1) in
+    let rec upward n =
+      if n > max_gates then begin
+        Telemetry.Counter.incr tc_fallbacks;
+        None
+      end
+      else
+        match attempt ~budget ~deadline tt n ~depth_bound with
+        | `Solution s -> Some (refine s n)
+        | `Unsat -> upward (n + 1)
+        | `Out_of_budget ->
+          Telemetry.Counter.incr tc_fallbacks;
+          None
+    (* Depth refinement at the minimum size: tighten the bound until the
+       instance goes UNSAT or the budget runs out (keeping the best). *)
+    and refine s n =
+      if not refine_depth then s
+      else begin
+        let rec tighten s =
+          let d = s.depth - 1 in
+          if d < 1 then s
+          else
+            match attempt ~budget ~deadline tt n ~depth_bound:(Some d) with
+            | `Solution s' when s'.gates <= s.gates -> tighten s'
+            | _ -> s
+        in
+        tighten s
+      end
+    in
+    let r = upward lb in
+    (match r with Some _ -> Telemetry.Counter.incr tc_found | None -> ());
+    r

@@ -1,0 +1,51 @@
+(** SAT-based exact synthesis of single-output AIGs for small functions.
+
+    The classic "∃ an N-gate circuit matching this truth table" encoding
+    (Éen'07 / Knuth 7.2.2.2 exercises), specialised to AND-inverter
+    graphs and run on the in-tree {!Sat.Solver}: gate [g] carries one
+    selection variable per (fanin pair × polarity pair) choice and one
+    value variable per truth-table row; selections imply the AND
+    semantics row by row, and the last gate must reproduce the table
+    under a free output polarity.  [N] iterates upward from the support
+    lower bound, so the first satisfiable size is minimum.  No
+    at-most-one constraint is placed on selections — two simultaneously
+    active selections must agree with the same value column on every
+    row, so decoding by the first active selection is sound and the
+    clause count stays linear in the candidate count.
+
+    With [depth_bound] the encoding adds unary level variables
+    ([lv_(g,d)] ⇔ "gate g sits at level ≤ d") and forbids the output
+    gate from exceeding the bound — that is how callers guarantee a
+    rewrite never worsens circuit depth.  After a minimum-size solution
+    is found, [refine_depth] re-solves at the same size with tightening
+    depth bounds, yielding the mockturtle-style (complexity, depth)
+    optimum within budget.
+
+    All queries run under a conflict budget and a wall-clock deadline;
+    exhaustion of either returns [None] ("fall back to factoring"), never
+    a wrong circuit, and books [synth.exact.fallbacks]. *)
+
+type solution = {
+  aig : Aig.t;  (** [Tt.t.k] inputs in table-variable order, one output *)
+  gates : int;  (** AND nodes of the output cone *)
+  depth : int;  (** structural level of the output *)
+}
+
+val synthesize :
+  ?budget:int ->
+  ?max_gates:int ->
+  ?depth_bound:int ->
+  ?deadline:Deadline.t ->
+  ?refine_depth:bool ->
+  Tt.t ->
+  solution option
+(** [synthesize tt] returns a minimum-AND-count AIG for [tt], or [None]
+    when no circuit of at most [max_gates] gates (default 10) exists
+    within the conflict [budget] per SAT call (default 20_000; [0] =
+    unlimited) and the [deadline].  [depth_bound] restricts every
+    candidate to that structural depth.  [refine_depth] (default [true])
+    additionally minimises depth among minimum-size circuits.  The
+    decoded circuit is re-simulated against [tt] before it is returned. *)
+
+val sat_calls : unit -> int
+(** Lifetime [synth.exact.sat_calls] counter value (for tests). *)

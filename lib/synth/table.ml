@@ -1,0 +1,20 @@
+let tc_hits = Telemetry.Counter.make "synth.table.hits"
+let tc_misses = Telemetry.Counter.make "synth.table.misses"
+
+let table : (int * int64, Exact.solution option) Hashtbl.t = Hashtbl.create 251
+let lock = Mutex.create ()
+
+let lookup ?(budget = 5_000) ?(deadline = Deadline.never) tt =
+  let key = (tt.Tt.k, tt.Tt.bits) in
+  match Mutex.protect lock (fun () -> Hashtbl.find_opt table key) with
+  | Some r ->
+    Telemetry.Counter.incr tc_hits;
+    r
+  | None ->
+    Telemetry.Counter.incr tc_misses;
+    let r = Exact.synthesize ~budget ~max_gates:7 ~deadline tt in
+    let decisive = match r with Some _ -> true | None -> not (Deadline.expired deadline) in
+    if decisive then Mutex.protect lock (fun () -> Hashtbl.replace table key r);
+    r
+
+let size () = Mutex.protect lock (fun () -> Hashtbl.length table)

@@ -1,0 +1,26 @@
+(** Process-global memo table of optimal implementations for small
+    functions, lazily filled by {!Exact.synthesize}.
+
+    The DAG-aware rewriter asks for the same handful of cut functions
+    over and over; this table makes each exact-synthesis result a
+    one-time cost shared across patches, units and domains.  Keys are
+    raw [(k, bits)] truth tables (no NPN canonisation — a bigger table
+    in exchange for zero transformation bookkeeping).  Failures are
+    memoised too, so a function the SAT engine cannot crack within the
+    budget is only ever attempted once — unless the failure was caused
+    by an expired deadline, which says nothing about the function.
+
+    Thread-safety: lookups and inserts serialise on one mutex; the
+    exact-synthesis call itself runs outside the lock, so two domains
+    may race to fill the same key (both compute, last write wins —
+    harmless, both results are correct). *)
+
+val lookup :
+  ?budget:int -> ?deadline:Deadline.t -> Tt.t -> Exact.solution option
+(** [lookup tt] returns a minimum-gate implementation of [tt], from the
+    table or by running exact synthesis with the given conflict [budget]
+    (default 5_000) and [deadline].  The returned AIG is shared and must
+    not be mutated — callers {!Aig.import} its output cone. *)
+
+val size : unit -> int
+(** Number of memoised entries (for tests). *)

@@ -1,0 +1,88 @@
+type t = { k : int; bits : int64 }
+
+let row_mask k =
+  if k >= 6 then -1L else Int64.sub (Int64.shift_left 1L (1 lsl k)) 1L
+
+let make k bits =
+  if k < 0 || k > 6 then invalid_arg "Tt.make: 0 <= k <= 6";
+  { k; bits = Int64.logand bits (row_mask k) }
+
+(* The projection patterns over 64 rows; [var k i] masks them down. *)
+let var_bits =
+  [|
+    0xAAAAAAAAAAAAAAAAL;
+    0xCCCCCCCCCCCCCCCCL;
+    0xF0F0F0F0F0F0F0F0L;
+    0xFF00FF00FF00FF00L;
+    0xFFFF0000FFFF0000L;
+    0xFFFFFFFF00000000L;
+  |]
+
+let var k i =
+  if i < 0 || i >= k then invalid_arg "Tt.var";
+  make k var_bits.(i)
+
+let const k b = make k (if b then -1L else 0L)
+
+let of_fun k f =
+  if k < 0 || k > 6 then invalid_arg "Tt.of_fun: 0 <= k <= 6";
+  let bits = ref 0L in
+  for t = (1 lsl k) - 1 downto 0 do
+    let bits' = Int64.shift_left !bits 1 in
+    bits := if f (Array.init k (fun i -> (t lsr i) land 1 = 1)) then Int64.logor bits' 1L else bits'
+  done;
+  { k; bits = !bits }
+
+let of_sop sop =
+  let k = Twolevel.Sop.nvars sop in
+  if k > 6 then invalid_arg "Tt.of_sop: more than 6 variables";
+  of_fun k (Twolevel.Sop.eval sop)
+
+let of_aig m root =
+  let k = Aig.num_inputs m in
+  if k > 6 then invalid_arg "Tt.of_aig: more than 6 inputs";
+  let words = Array.init k (fun i -> var_bits.(i)) in
+  let values = Aig.simulate m words in
+  make k (Aig.lit_value values root)
+
+let eval tt t = Int64.logand (Int64.shift_right_logical tt.bits t) 1L = 1L
+
+let equal a b = a.k = b.k && Int64.equal a.bits b.bits
+
+let is_const tt =
+  if Int64.equal tt.bits 0L then Some false
+  else if Int64.equal tt.bits (row_mask tt.k) then Some true
+  else None
+
+let as_var tt =
+  let rec scan i =
+    if i >= tt.k then None
+    else
+      let v = (var tt.k i).bits in
+      if Int64.equal tt.bits v then Some (i, true)
+      else if Int64.equal tt.bits (Int64.logand (Int64.lognot v) (row_mask tt.k)) then
+        Some (i, false)
+      else scan (i + 1)
+  in
+  scan 0
+
+let support tt =
+  (* Variable i matters iff the two cofactors differ: shifting by the
+     variable's period aligns the x_i=1 half-rows over the x_i=0 ones. *)
+  let deps = ref [] in
+  for i = tt.k - 1 downto 0 do
+    let period = 1 lsl i in
+    let hi = Int64.logand tt.bits (var tt.k i).bits in
+    let lo =
+      Int64.logand tt.bits (Int64.logand (Int64.lognot (var tt.k i).bits) (row_mask tt.k))
+    in
+    if not (Int64.equal (Int64.shift_right_logical hi period) lo) then deps := i :: !deps
+  done;
+  !deps
+
+let pp ppf tt =
+  let digits = max 1 ((1 lsl tt.k) / 4) in
+  for d = digits - 1 downto 0 do
+    let nibble = Int64.to_int (Int64.logand (Int64.shift_right_logical tt.bits (4 * d)) 0xFL) in
+    Format.fprintf ppf "%x" nibble
+  done

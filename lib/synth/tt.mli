@@ -1,0 +1,50 @@
+(** Truth tables of functions over at most 6 variables, packed in one
+    [int64].
+
+    Bit [t] of {!field-bits} is the function value on the input row whose
+    variable [i] takes bit [i] of [t] — the standard simulation-pattern
+    convention, matching {!Aig.simulate} over the {!var} input words.
+    Rows beyond [2^k] are kept zero so tables compare with [=]. *)
+
+type t = private { k : int; bits : int64 }
+
+val make : int -> int64 -> t
+(** [make k bits] masks [bits] to the [2^k] meaningful rows.
+    Raises [Invalid_argument] unless [0 <= k <= 6]. *)
+
+val row_mask : int -> int64
+(** The mask of the [2^k] meaningful rows. *)
+
+val var : int -> int -> t
+(** [var k i] is the projection onto variable [i] over [k] variables. *)
+
+val const : int -> bool -> t
+
+val of_fun : int -> (bool array -> bool) -> t
+(** [of_fun k f] tabulates [f] over all [2^k] rows. *)
+
+val of_sop : Twolevel.Sop.t -> t
+(** Tabulates a cover.  Raises [Invalid_argument] on more than 6
+    variables. *)
+
+val of_aig : Aig.t -> Aig.lit -> t
+(** Truth table of one output cone of an AIG with at most 6 inputs, by
+    bit-parallel simulation.  Variable [i] of the table is primary input
+    [i] of the manager. *)
+
+val eval : t -> int -> bool
+(** Value on row [t]. *)
+
+val equal : t -> t -> bool
+val is_const : t -> bool option
+(** [Some b] when the table is the constant [b]. *)
+
+val as_var : t -> (int * bool) option
+(** [Some (i, phase)] when the table is variable [i] ([phase = true]) or
+    its complement ([phase = false]). *)
+
+val support : t -> int list
+(** Variables the function actually depends on, ascending. *)
+
+val pp : Format.formatter -> t -> unit
+(** Hex rendering, [2^k / 4] digits (mockturtle/kitty style). *)
